@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The heavyweight
+inputs (the benchmark suite with synthetic weights) are session-scoped so that
+``pytest benchmarks/ --benchmark-only`` runs the whole evaluation once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run the accelerator sweeps over all seven models
+  (default: a three-model representative subset, which keeps the full harness
+  under ~10 minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.benchmarks import BENCHMARK_MODEL_NAMES, BenchmarkSuite
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: benchmark regenerating a paper table/figure")
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchmarkSuite:
+    return BenchmarkSuite(seed=0, max_channels=128, max_reduction=1024)
+
+
+@pytest.fixture(scope="session")
+def sweep_models() -> list[str]:
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return list(BENCHMARK_MODEL_NAMES)
+    return ["ResNet-50", "ViT-Small", "BERT-MRPC"]

@@ -1,0 +1,59 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These do not correspond to a specific paper figure; they regenerate the
+trade-off curves behind the paper's fixed hyper-parameters (group size 32,
+6-bit BBS constant, 10 %/20 % sensitive channels, PE sub-group 8, CH = 32).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.ablations import (
+    beta_ablation,
+    channel_alignment_ablation,
+    constant_bits_ablation,
+    group_size_ablation,
+    sub_group_ablation,
+)
+
+
+def _print(result):
+    print()
+    print(result["table"])
+    return result
+
+
+@pytest.mark.paper
+def test_ablation_group_size(benchmark):
+    result = _print(benchmark.pedantic(group_size_ablation, rounds=1, iterations=1))
+    bits = [row["effective_bits"] for row in result["rows"]]
+    assert bits == sorted(bits, reverse=True)
+
+
+@pytest.mark.paper
+def test_ablation_constant_bits(benchmark):
+    result = _print(benchmark.pedantic(constant_bits_ablation, rounds=1, iterations=1))
+    errors = [row["mse"] for row in result["rows"]]
+    assert errors[-1] <= errors[0] + 1e-9
+
+
+@pytest.mark.paper
+def test_ablation_beta(benchmark):
+    result = _print(benchmark.pedantic(beta_ablation, rounds=1, iterations=1))
+    rows = sorted(result["rows"], key=lambda row: row["beta"])
+    assert rows[-1]["mse"] <= rows[0]["mse"] + 1e-9
+
+
+@pytest.mark.paper
+def test_ablation_sub_group(benchmark):
+    result = _print(benchmark.pedantic(sub_group_ablation, rounds=1, iterations=1))
+    optimized = {row["sub_group"]: row["area_um2"] for row in result["rows"] if row["optimized"]}
+    assert min(optimized, key=optimized.get) == 8
+
+
+@pytest.mark.paper
+def test_ablation_channel_alignment(benchmark):
+    result = _print(benchmark.pedantic(channel_alignment_ablation, rounds=1, iterations=1))
+    for row in result["rows"]:
+        assert row["aligned_fraction"] >= row["unaligned_fraction"] - 1e-9

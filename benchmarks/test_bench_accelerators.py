@@ -1,0 +1,142 @@
+"""Benchmarks regenerating the accelerator-level results.
+
+Covers Figure 12 (speedup over Stripes), Figure 13 (energy normalized to
+SparTen), Figure 14 (load balance vs PE columns), Figure 15 (stall breakdown),
+Tables IV/V/VI (PE area/power), Figure 16 (EDP-accuracy Pareto) and Figure 17
+(LLM weight compression).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments as exp
+from repro.eval.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def sweep_results(suite, sweep_models):
+    """Figure 12 results shared with the Figure 13 benchmark."""
+    return exp.figure12_speedup(models=sweep_models, suite=suite)
+
+
+@pytest.mark.paper
+def test_figure12_speedup(benchmark, suite, sweep_models, sweep_results):
+    def regenerate():
+        return sweep_results
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(result["table"])
+    geomean = [row for row in result["rows"] if row["model"] == "Geomean"][0]
+    assert geomean["BitVert (moderate)"] > geomean["BitVert (conservative)"]
+    assert geomean["BitVert (conservative)"] > geomean["BitWave"] > 1.0
+    assert geomean["BitVert (moderate)"] > 2.0
+
+
+@pytest.mark.paper
+def test_figure13_energy(benchmark, suite, sweep_models, sweep_results):
+    result = benchmark.pedantic(
+        exp.figure13_energy,
+        kwargs={"models": sweep_models, "suite": suite, "results": sweep_results["results"]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    geomeans = [row for row in result["rows"] if row["model"] == "Geomean"]
+    print(format_table(geomeans, title="Figure 13 (geomean, normalized to SparTen)"))
+    by_accel = {row["accelerator"]: row["norm_energy"] for row in geomeans}
+    assert by_accel["SparTen"] == pytest.approx(1.0)
+    assert by_accel["BitVert (moderate)"] < by_accel["BitWave"] < by_accel["Stripes"]
+
+
+@pytest.mark.paper
+def test_figure14_load_balance(benchmark, suite):
+    result = benchmark.pedantic(
+        exp.figure14_load_balance, kwargs={"suite": suite}, rounds=1, iterations=1
+    )
+    print()
+    print(result["table"])
+    for model in {row["model"] for row in result["rows"]}:
+        subset = sorted(
+            (row for row in result["rows"] if row["model"] == model),
+            key=lambda row: row["pe_columns"],
+        )
+        # Unstructured designs lose speedup with more PE columns; BitVert wins everywhere.
+        assert subset[-1]["Bitlet"] <= subset[0]["Bitlet"] + 1e-9
+        assert subset[-1]["Pragmatic"] <= subset[0]["Pragmatic"] + 1e-9
+        for row in subset:
+            assert row["BitVert"] >= row["BitWave"]
+
+
+@pytest.mark.paper
+def test_figure15_stall_breakdown(benchmark, suite):
+    result = benchmark.pedantic(
+        exp.figure15_stall_breakdown, kwargs={"suite": suite}, rounds=1, iterations=1
+    )
+    print()
+    print(result["table"])
+    for model in {row["model"] for row in result["rows"]}:
+        for columns in {row["pe_columns"] for row in result["rows"]}:
+            subset = {
+                row["accelerator"]: row
+                for row in result["rows"]
+                if row["model"] == model and row["pe_columns"] == columns
+            }
+            assert subset["BitVert"]["useful"] >= subset["BitWave"]["useful"]
+
+
+@pytest.mark.paper
+def test_table4_pe_design_space(benchmark):
+    result = benchmark.pedantic(exp.table4_pe_design_space, rounds=1, iterations=1)
+    print()
+    print(result["table"])
+    areas = {
+        (row["sub_group"], row["optimized"]): row["model_area_um2"] for row in result["rows"]
+    }
+    assert min(areas, key=areas.get) == (8, True)
+
+
+@pytest.mark.paper
+def test_table5_pe_comparison(benchmark):
+    result = benchmark.pedantic(exp.table5_pe_comparison, rounds=1, iterations=1)
+    print()
+    print(result["table"])
+    by_name = {row["accelerator"]: row for row in result["rows"]}
+    assert by_name["Bitlet"]["model_area_um2"] > by_name["Pragmatic"]["model_area_um2"]
+    assert by_name["Stripes"]["model_area_um2"] < by_name["BitVert"]["model_area_um2"]
+
+
+@pytest.mark.paper
+def test_table6_olive_pe(benchmark):
+    result = benchmark.pedantic(exp.table6_olive_pe, rounds=1, iterations=1)
+    print()
+    print(result["table"])
+    bitvert = [row for row in result["rows"] if row["pe"].startswith("BitVert")][0]
+    assert bitvert["norm_perf_per_area"] > 1.2
+
+
+@pytest.mark.paper
+def test_figure16_pareto(benchmark, suite):
+    result = benchmark.pedantic(
+        exp.figure16_pareto, kwargs={"suite": suite}, rounds=1, iterations=1
+    )
+    print()
+    print(result["table"])
+    bitvert_rows = [row for row in result["rows"] if row["design"].startswith("BitVert")]
+    others = [row for row in result["rows"] if not row["design"].startswith("BitVert")]
+    assert any(
+        row["norm_edp"] < min(other["norm_edp"] for other in others) for row in bitvert_rows
+    )
+
+
+@pytest.mark.paper
+def test_figure17_llm(benchmark):
+    result = benchmark.pedantic(exp.figure17_llm, rounds=1, iterations=1)
+    print()
+    print(result["table"])
+    by_method = {row["method"]: row for row in result["rows"]}
+    assert (
+        by_method["BBS moderate (4.25 bits)"]["output_distortion"]
+        < by_method["Olive (4 bits)"]["output_distortion"]
+    )

@@ -1,0 +1,81 @@
+"""Benchmarks regenerating the compression-quality results.
+
+Covers Figure 1 (motivation), Figure 3 (sparsity statistics), Figure 6
+(KL divergence of the pruning strategies), Figure 11 / Tables II-III
+(accuracy-proxy comparisons) and Table I (benchmark summary).  Each benchmark
+prints the regenerated rows so ``bench_output.txt`` contains the same series
+the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments as exp
+
+
+def _run_and_print(benchmark, function, *args, **kwargs):
+    result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result["table"])
+    return result
+
+
+@pytest.mark.paper
+def test_figure1_motivation(benchmark):
+    result = _run_and_print(benchmark, exp.figure1_motivation)
+    by_method = {row["method"]: row for row in result["rows"]}
+    bbs = [row for name, row in by_method.items() if name.startswith("BBS")][0]
+    assert bbs["kl_divergence"] == min(row["kl_divergence"] for row in result["rows"])
+
+
+@pytest.mark.paper
+def test_figure3_sparsity(benchmark):
+    result = _run_and_print(benchmark, exp.figure3_sparsity_comparison)
+    for row in result["rows"]:
+        assert row["bbs"] >= 0.5
+        assert row["value"] < 0.1
+
+
+@pytest.mark.paper
+def test_figure6_kl_divergence(benchmark):
+    result = _run_and_print(benchmark, exp.figure6_kl_divergence)
+    for row in result["rows"]:
+        assert row["zero_point_shift_norm_kl"] < row["zero_column_norm_kl"]
+        assert row["rounded_average_norm_kl"] < row["zero_column_norm_kl"]
+
+
+@pytest.mark.paper
+def test_table1_models(benchmark):
+    result = _run_and_print(benchmark, exp.table1_models)
+    assert len(result["rows"]) == 7
+
+
+@pytest.mark.paper
+def test_figure11_accuracy(benchmark):
+    result = _run_and_print(benchmark, exp.figure11_accuracy)
+    models = {row["model"] for row in result["rows"]}
+    for model in models:
+        subset = {row["method"]: row for row in result["rows"] if row["model"] == model}
+        assert subset["bbs_mod"]["mean_kl"] < subset["ptq4"]["mean_kl"]
+        assert subset["bbs_mod"]["mean_kl"] < subset["bitwave4"]["mean_kl"]
+    if result["mlp_rows"]:
+        by_method = {row["method"]: row for row in result["mlp_rows"]}
+        assert (
+            by_method["BBS moderate"]["accuracy_loss_vs_fp32"]
+            <= by_method["PTQ (4-bit)"]["accuracy_loss_vs_fp32"] + 1e-9
+        )
+
+
+@pytest.mark.paper
+def test_table2_ant(benchmark):
+    result = _run_and_print(benchmark, exp.table2_ant_comparison)
+    assert all(row["bbs_better"] for row in result["rows"])
+
+
+@pytest.mark.paper
+def test_table3_ptq(benchmark):
+    result = _run_and_print(benchmark, exp.table3_ptq_comparison)
+    for model in ("ViT-Small", "ViT-Base"):
+        subset = {row["method"]: row for row in result["rows"] if row["model"] == model}
+        assert subset["BBS (mod)"]["mean_kl"] < subset["Microscaling (6-bit)"]["mean_kl"]

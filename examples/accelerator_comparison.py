@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Accelerator comparison: BitVert against the six baselines (Figures 12/13).
+
+Runs the cycle-level models of SparTen, ANT, Stripes, Pragmatic, Bitlet,
+BitWave and BitVert (conservative + moderate) on a subset of the paper's DNN
+benchmarks and prints speedups over Stripes, energy normalized to SparTen, and
+the execution-cycle breakdown that explains where each design loses time
+(Figure 15).
+
+Run with::
+
+    python examples/accelerator_comparison.py            # 3-model subset
+    python examples/accelerator_comparison.py --full     # all 7 benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval.benchmarks import ACCELERATOR_NAMES, BENCHMARK_MODEL_NAMES, BenchmarkSuite
+from repro.eval.reporting import format_table, geometric_mean
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="evaluate all seven benchmarks")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    models = BENCHMARK_MODEL_NAMES if args.full else ["ResNet-50", "ViT-Small", "BERT-MRPC"]
+    suite = BenchmarkSuite(seed=args.seed)
+
+    speedup_rows = []
+    energy_rows = []
+    breakdown_rows = []
+    per_accel_speedups: dict[str, list[float]] = {name: [] for name in ACCELERATOR_NAMES}
+
+    for model_name in models:
+        model = suite.model(model_name)
+        weights = suite.weights(model_name)
+        print(f"running {model_name} ({model.total_macs / 1e9:.1f} GMACs) ...")
+        accelerators = suite.accelerators()
+        results = {name: accelerators[name].run_model(model, weights) for name in ACCELERATOR_NAMES}
+
+        stripes = results["Stripes"]
+        sparten = results["SparTen"]
+        speedup_row = {"model": model_name}
+        for name, result in results.items():
+            speedup = result.speedup_over(stripes)
+            speedup_row[name] = speedup
+            per_accel_speedups[name].append(speedup)
+            energy_rows.append(
+                {
+                    "model": model_name,
+                    "accelerator": name,
+                    "norm_energy_vs_sparten": result.total_energy_pj / sparten.total_energy_pj,
+                    "off_chip_share": result.off_chip_energy_pj / result.total_energy_pj,
+                }
+            )
+            breakdown = result.cycle_breakdown()
+            breakdown_rows.append({"model": model_name, "accelerator": name, **breakdown})
+        speedup_rows.append(speedup_row)
+
+    speedup_rows.append(
+        {"model": "Geomean", **{name: geometric_mean(values) for name, values in per_accel_speedups.items()}}
+    )
+
+    print()
+    print(format_table(speedup_rows, title="Speedup over Stripes (Figure 12)"))
+    print(format_table(energy_rows, title="Energy normalized to SparTen (Figure 13)"))
+    print(format_table(breakdown_rows, title="Execution-cycle breakdown (Figure 15)"))
+
+
+if __name__ == "__main__":
+    main()

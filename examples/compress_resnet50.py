@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Whole-model compression study: ResNet-50 under every method of the paper.
+
+Reproduces the workflow behind Figure 11 / Tables II-III on one model:
+synthesize statistically realistic INT8 weights for every ResNet-50 layer,
+compress them with naive PTQ, BitWave-style zero-column pruning, Microscaling,
+ANT, and BBS binary pruning (conservative and moderate), and compare the
+effective bit width, compression ratio, and how well each method preserves the
+original weight distribution (MSE and KL divergence).
+
+Run with::
+
+    python examples/compress_resnet50.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    CONSERVATIVE_PRESET,
+    MODERATE_PRESET,
+    global_binary_prune,
+    kl_divergence,
+    mse,
+)
+from repro.eval.reporting import format_table
+from repro.nn import get_model, synthesize_model
+from repro.quant import (
+    ant_quantize,
+    bitflip_tensor,
+    microscaling_quantize,
+    requantize_to_lower_bits,
+)
+
+
+def main() -> None:
+    model = get_model("ResNet-50")
+    print(model.describe())
+    weights = synthesize_model(model, seed=0, max_channels=128, max_reduction=1024)
+    print(f"synthesized {len(weights)} unique weight layers\n")
+
+    rows = []
+
+    # --- BBS global binary pruning (the paper's method) -----------------------
+    layer_ints = {name: lw.int_weights for name, lw in weights.items()}
+    scores = {name: lw.channel_scores for name, lw in weights.items()}
+    for preset in (CONSERVATIVE_PRESET, MODERATE_PRESET):
+        result = global_binary_prune(layer_ints, scores, preset)
+        rows.append(
+            {
+                "method": f"BBS ({preset.name})",
+                "effective_bits": result.effective_bits(),
+                "compression": result.compression_ratio(),
+                "mean_mse": result.mean_mse(),
+                "mean_kl": result.mean_kl_divergence(),
+            }
+        )
+
+    # --- Baselines -------------------------------------------------------------
+    def evaluate(name: str, compress) -> None:
+        kls, errors, bits = [], [], []
+        for layer in weights.values():
+            original = layer.int_weights
+            compressed, effective_bits = compress(layer)
+            kls.append(kl_divergence(original, compressed))
+            errors.append(mse(original, compressed))
+            bits.append(effective_bits)
+        rows.append(
+            {
+                "method": name,
+                "effective_bits": float(np.mean(bits)),
+                "compression": 8.0 / float(np.mean(bits)),
+                "mean_mse": float(np.mean(errors)),
+                "mean_kl": float(np.mean(kls)),
+            }
+        )
+
+    evaluate(
+        "PTQ (4-bit)",
+        lambda layer: (requantize_to_lower_bits(layer.quantized, 4).values, 4.0),
+    )
+    evaluate(
+        "PTQ (5-bit)",
+        lambda layer: (requantize_to_lower_bits(layer.quantized, 5).values, 5.0),
+    )
+    evaluate(
+        "BitWave (4 columns)",
+        lambda layer: (
+            bitflip_tensor(layer.int_weights, 4, keep_original=False).values,
+            (4 * 32 + 8) / 32,
+        ),
+    )
+    evaluate(
+        "Microscaling (6-bit)",
+        lambda layer: (
+            microscaling_quantize(layer.int_weights, 6, 32, keep_original=False).values,
+            6.25,
+        ),
+    )
+    evaluate(
+        "ANT (6-bit)",
+        lambda layer: (ant_quantize(layer.int_weights, 6, keep_original=False).values, 6.0),
+    )
+
+    rows.sort(key=lambda row: row["mean_kl"])
+    print(format_table(rows, title="ResNet-50 weight compression (sorted by KL divergence)"))
+    print(
+        "Lower KL divergence means the compressed weights preserve more of the\n"
+        "8-bit baseline's statistical structure — the property the paper links\n"
+        "to post-compression accuracy (Figures 6 and 11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

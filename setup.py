@@ -1,0 +1,5 @@
+"""Setup shim so that editable installs work on offline machines without the
+``wheel`` package (pip's legacy ``--no-use-pep517`` path needs a setup.py)."""
+from setuptools import setup
+
+setup()

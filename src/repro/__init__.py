@@ -1,0 +1,36 @@
+"""repro — reproduction of BBS: Bi-directional Bit-level Sparsity (MICRO 2024).
+
+The package is organised into six subpackages:
+
+* :mod:`repro.core` — the BBS algorithms (bit-plane sparsity analysis, binary
+  pruning, compression encoding, global hardware-aware pruning).
+* :mod:`repro.quant` — the quantization substrate and the compression
+  baselines the paper compares against (PTQ, BitWave bit-flip, Microscaling,
+  NoisyQuant, ANT, Olive).
+* :mod:`repro.nn` — a numpy DNN substrate: layers, the benchmark model zoo
+  (layer shapes of VGG-16, ResNet-34/50, ViT-S/B, BERT, Llama-3-8B),
+  synthetic weight/activation generators, and a tiny trainer for end-to-end
+  accuracy experiments.
+* :mod:`repro.memory` — SRAM/DRAM energy models and traffic accounting.
+* :mod:`repro.accelerators` — cycle-level models of BitVert and the six
+  baseline accelerators (Stripes, Pragmatic, Bitlet, BitWave, SparTen, ANT).
+* :mod:`repro.eval` — the experiment harness that regenerates every table and
+  figure of the paper's evaluation section.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import prune_tensor, PruningStrategy
+
+    weights = np.random.default_rng(0).normal(0, 20, (64, 256)).round().astype(np.int64)
+    weights = np.clip(weights, -128, 127)
+    pruned = prune_tensor(weights, num_columns=4,
+                          strategy=PruningStrategy.ZERO_POINT_SHIFT)
+    print(pruned.effective_bits(), pruned.mse())
+"""
+
+__version__ = "1.0.0"
+
+from . import accelerators, core, eval, memory, nn, quant
+
+__all__ = ["accelerators", "core", "eval", "memory", "nn", "quant", "__version__"]

@@ -1,0 +1,67 @@
+"""ANT [16]: adaptive-datatype low-bit accelerator.
+
+ANT quantizes both weights and activations to a low precision (6 bits in the
+paper's comparison, the precision ANT reports as safe without retraining)
+using its adaptive ``flint`` datatype, and executes dense low-bit MACs.  Its
+advantage over the 8-bit dense baseline is therefore purely the precision
+reduction — smaller operands to move and fewer weight bits to process — with
+no exploitation of bit-level sparsity, which is exactly the gap the BBS paper
+measures against it.
+
+Under the bit-serial normalization used for the whole comparison, a 6-bit
+weight occupies a lane for 6 cycles instead of 8, uniformly across all groups
+(perfect load balance), and both weight and activation traffic shrink to 6/8
+of the dense INT8 volume.  The datatype decoder adds area/power to the PE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .area_power import DEFAULT_GATE_COSTS, GateCosts, PEDesign
+from .common import BitSerialAccelerator, GroupCycleStats
+from ..nn.synthetic import LayerWeights
+from ..nn.workloads import GemmWorkload
+
+__all__ = ["AntAccelerator", "ant_pe"]
+
+
+def ant_pe(costs: GateCosts = DEFAULT_GATE_COSTS) -> PEDesign:
+    """ANT PE: a low-bit multiplier plus the adaptive-datatype decoder."""
+    design = PEDesign("ANT", activity_factor=0.92, lanes=8)
+    design.add("multiplier_6x6", costs.adder(8, 6))
+    design.add("flint_decoder", costs.barrel_shifter(8, 4, 2) + costs.priority_encoder(6, 2))
+    design.add("datatype_select", costs.mux(4, 8, 2))
+    design.add("accumulator", costs.adder(24) + costs.register(24))
+    design.add("operand_registers", costs.register(6, 8) / 2.0)
+    design.add("control", 40.0)
+    return design
+
+
+class AntAccelerator(BitSerialAccelerator):
+    """Dense low-bit accelerator with adaptive datatypes (no bit sparsity)."""
+
+    name = "ANT"
+
+    def __init__(self, precision_bits: int = 6, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.precision_bits = precision_bits
+
+    def pe_design(self) -> PEDesign:
+        return ant_pe()
+
+    def group_cycle_stats(self, layer: LayerWeights) -> GroupCycleStats:
+        groups = self.layer_groups(layer)
+        cycles_per_group = (
+            self.array.pe_group_size * self.precision_bits / self.array.lanes_per_pe
+        )
+        cycles = np.full(groups.shape[0], float(cycles_per_group))
+        return GroupCycleStats(actual=cycles, minimal=cycles.copy())
+
+    def stored_weight_bytes(self, workload: GemmWorkload, layer: LayerWeights) -> float:
+        # 6-bit weights plus a 4-bit per-16-value datatype/exponent tag.
+        tag_bits_per_weight = 4.0 / 16.0
+        return workload.weight_count * (self.precision_bits + tag_bits_per_weight) / 8.0
+
+    def activation_bits(self, workload: GemmWorkload) -> int:
+        return self.precision_bits

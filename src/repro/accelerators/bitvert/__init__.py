@@ -1,0 +1,28 @@
+"""BitVert: the paper's bit-serial accelerator exploiting BBS.
+
+* :mod:`repro.accelerators.bitvert.pe` — behavioural PE model (Figure 7),
+  proves the compressed-domain dot product is exact.
+* :mod:`repro.accelerators.bitvert.scheduler` — bit-column direction choice
+  and sliding-priority-encoder lane dispatch (Figure 8).
+* :mod:`repro.accelerators.bitvert.reorder` — channel reordering and output
+  unshuffling (Figure 9).
+* :mod:`repro.accelerators.bitvert.accelerator` — array-level performance and
+  energy model (Figure 10).
+"""
+
+from .accelerator import BitVertAccelerator
+from .pe import BitVertPE, PEResult
+from .reorder import ChannelReordering, reorder_channels, unshuffle_output
+from .scheduler import ColumnSchedule, column_index_sequence, schedule_column
+
+__all__ = [
+    "BitVertAccelerator",
+    "BitVertPE",
+    "PEResult",
+    "ChannelReordering",
+    "reorder_channels",
+    "unshuffle_output",
+    "ColumnSchedule",
+    "column_index_sequence",
+    "schedule_column",
+]

@@ -1,0 +1,194 @@
+"""Functional model of the BitVert processing element (Figure 7).
+
+This is the *behavioural* model of the PE datapath — it executes the exact
+sequence of per-cycle operations the hardware performs (activation selection
+through the sliding muxes, bit-serial accumulation or subtraction per
+sub-group, column-significance shifting, BBS-constant multiplication, final
+accumulation) and therefore lets the tests prove that the hardware computes
+the dot product of the *compressed* weights exactly.  The performance model
+lives in :mod:`repro.accelerators.bitvert.accelerator`; the area/power model
+in :mod:`repro.accelerators.area_power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scheduler import column_index_sequence, schedule_column
+from ...core.bitplane import to_bitplanes
+from ...core.encoding import EncodedGroup, PruningStrategy
+
+__all__ = ["PEResult", "BitVertPE"]
+
+
+@dataclass(frozen=True)
+class PEResult:
+    """Outcome of processing one weight group on the functional PE."""
+
+    dot_product: int
+    cycles: int
+    effectual_bit_ops: int
+    skipped_bit_ops: int
+
+
+class BitVertPE:
+    """Behavioural BitVert PE: 16 weights x 16 activations, bit-serial weights.
+
+    Parameters
+    ----------
+    group_size:
+        Weights (and activations) per PE group; 16 in the paper's design.
+    sub_group:
+        Activations per sub-group sharing one subtractor and one set of
+        sliding muxes; 8 in the optimized design.
+    bits:
+        Weight word width.
+    min_cycles_per_group:
+        Floor on the per-group latency; the time-multiplexed BBS-constant
+        multiplier needs two cycles, so the paper uses 2.
+    """
+
+    def __init__(
+        self,
+        group_size: int = 16,
+        sub_group: int = 8,
+        bits: int = 8,
+        min_cycles_per_group: int = 2,
+    ) -> None:
+        if group_size % sub_group != 0:
+            raise ValueError("sub_group must divide group_size")
+        self.group_size = group_size
+        self.sub_group = sub_group
+        self.bits = bits
+        self.min_cycles_per_group = min_cycles_per_group
+
+    # ------------------------------------------------------------------ compute
+    def compute_group(self, encoded: EncodedGroup, activations: np.ndarray) -> PEResult:
+        """Process one compressed weight group against a vector of activations.
+
+        Returns the exact dot product of the *decoded* weights with the
+        activations, together with the cycle count and bit-operation counts
+        the datapath incurred.
+        """
+        activations = np.asarray(activations).astype(np.int64)
+        if activations.shape != (encoded.group_size,):
+            raise ValueError(
+                f"expected {encoded.group_size} activations, got shape {activations.shape}"
+            )
+        if encoded.group_size % self.sub_group != 0:
+            raise ValueError(
+                f"group size {encoded.group_size} is not a multiple of the "
+                f"sub-group size {self.sub_group}"
+            )
+
+        reduced_bits = encoded.bits - encoded.num_redundant
+        stored_columns = encoded.stored_columns
+        column_indices = column_index_sequence(
+            encoded.bits, encoded.num_redundant, stored_columns
+        )
+        num_sub_groups = encoded.group_size // self.sub_group
+        act_sub_sums = activations.reshape(num_sub_groups, self.sub_group).sum(axis=1)
+        act_total = int(activations.sum())
+
+        accumulator = 0
+        effectual_ops = 0
+        planes = encoded.stored_planes  # (group_size, stored_columns), MSB first
+
+        for column_position, col_idx in enumerate(column_indices):
+            column = planes[:, column_position]
+            column_partial = 0
+            for sub in range(num_sub_groups):
+                bits = column[sub * self.sub_group : (sub + 1) * self.sub_group]
+                schedule = schedule_column(bits)
+                selected = 0
+                for lane, (index, valid) in enumerate(
+                    zip(schedule.selections, schedule.valid)
+                ):
+                    del lane
+                    if valid:
+                        selected += int(activations[sub * self.sub_group + index])
+                        effectual_ops += 1
+                if schedule.invert:
+                    partial = int(act_sub_sums[sub]) - selected
+                else:
+                    partial = selected
+                column_partial += partial
+            # The stored MSB column still carries the negative two's-complement
+            # place value of the reduced word.
+            is_msb = column_position == 0
+            place = 1 << col_idx
+            signed_place = -place if is_msb else place
+            accumulator += signed_place * column_partial
+
+        # Step 4: the BBS constant multiplies the activation sum.  For
+        # zero-point shifting the constant was *added* to the stored weights,
+        # so its contribution is subtracted back; for rounded averaging the
+        # pruned low columns are exactly the constant, so it is added.
+        if encoded.strategy is PruningStrategy.ZERO_POINT_SHIFT:
+            accumulator -= encoded.constant * act_total
+        elif encoded.strategy is PruningStrategy.ROUNDED_AVERAGE:
+            accumulator += encoded.constant * act_total
+        elif encoded.num_sparse:
+            raise ValueError("sparse columns require a pruning strategy")
+
+        del reduced_bits
+        cycles = max(self.min_cycles_per_group, stored_columns)
+        total_bit_ops = encoded.group_size * encoded.bits
+        return PEResult(
+            dot_product=int(accumulator),
+            cycles=cycles,
+            effectual_bit_ops=effectual_ops,
+            skipped_bit_ops=total_bit_ops - effectual_ops,
+        )
+
+    # -------------------------------------------------------------- uncompressed
+    def compute_uncompressed_group(
+        self, weights: np.ndarray, activations: np.ndarray
+    ) -> PEResult:
+        """Process an uncompressed (sensitive-channel) group with runtime BBS only.
+
+        Even without binary pruning the PE exploits bi-directional sparsity at
+        run time: every bit column costs one cycle because at most half of the
+        sub-group's bits are effectual after the direction choice.
+        """
+        weights = np.asarray(weights).astype(np.int64)
+        activations = np.asarray(activations).astype(np.int64)
+        if weights.shape != activations.shape:
+            raise ValueError("weights and activations must have the same shape")
+
+        planes = to_bitplanes(weights, self.bits)  # (group, bits) MSB first
+        num_sub_groups = weights.size // self.sub_group
+        act_sub_sums = activations.reshape(num_sub_groups, self.sub_group).sum(axis=1)
+
+        accumulator = 0
+        effectual_ops = 0
+        for column_position in range(self.bits):
+            column = planes[:, column_position]
+            column_partial = 0
+            for sub in range(num_sub_groups):
+                bits = column[sub * self.sub_group : (sub + 1) * self.sub_group]
+                schedule = schedule_column(bits)
+                selected = 0
+                for index, valid in zip(schedule.selections, schedule.valid):
+                    if valid:
+                        selected += int(activations[sub * self.sub_group + index])
+                        effectual_ops += 1
+                if schedule.invert:
+                    partial = int(act_sub_sums[sub]) - selected
+                else:
+                    partial = selected
+                column_partial += partial
+            place = 1 << (self.bits - 1 - column_position)
+            signed_place = -place if column_position == 0 else place
+            accumulator += signed_place * column_partial
+
+        cycles = max(self.min_cycles_per_group, self.bits)
+        total_bit_ops = weights.size * self.bits
+        return PEResult(
+            dot_product=int(accumulator),
+            cycles=cycles,
+            effectual_bit_ops=effectual_ops,
+            skipped_bit_ops=total_bit_ops - effectual_ops,
+        )

@@ -1,0 +1,105 @@
+"""Channel reordering and output unshuffling (Figure 9).
+
+Hardware-aware global binary pruning leaves a layer with two precision
+classes of output channels — sensitive channels at 8 bits and pruned channels
+at a lower effective precision.  Storing them interleaved would make weight
+accesses unaligned, so BitVert groups channels of the same precision into
+contiguous memory chunks and processes them chunk by chunk.  Because this
+permutes the *output* channel order, the outputs must be unshuffled when they
+are written back; doing the unshuffle at output-writeback time (rather than
+statically reshuffling the next layer's weights, as SparTen does) keeps
+element-wise-consumer patterns such as residual additions correct even when
+two differently-ordered weight tensors process the same input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChannelReordering", "reorder_channels", "unshuffle_output"]
+
+
+@dataclass(frozen=True)
+class ChannelReordering:
+    """A precision-based channel permutation of one layer.
+
+    Attributes
+    ----------
+    permutation:
+        ``permutation[i]`` is the original index of the channel stored at
+        reordered position ``i`` (sensitive chunk first, then normal chunk).
+    sensitive_count:
+        Number of channels in the sensitive (8-bit) chunk.
+    """
+
+    permutation: np.ndarray
+    sensitive_count: int
+
+    @property
+    def num_channels(self) -> int:
+        return int(self.permutation.size)
+
+    def inverse(self) -> np.ndarray:
+        """Mapping from original channel index to reordered position."""
+        inverse = np.empty_like(self.permutation)
+        inverse[self.permutation] = np.arange(self.permutation.size)
+        return inverse
+
+    def index_buffer_bytes(self) -> int:
+        """Size of the original-channel-index side buffer (one index per channel)."""
+        index_bits = max(1, int(np.ceil(np.log2(max(2, self.num_channels)))))
+        return int(np.ceil(self.num_channels * index_bits / 8))
+
+
+def reorder_channels(
+    weights: np.ndarray, sensitive_mask: np.ndarray
+) -> tuple[np.ndarray, ChannelReordering]:
+    """Group a layer's channels into a sensitive chunk followed by a normal chunk.
+
+    Parameters
+    ----------
+    weights:
+        ``(channels, reduction)`` weight matrix (any dtype).
+    sensitive_mask:
+        Boolean mask marking the sensitive (unpruned, 8-bit) channels.
+
+    Returns
+    -------
+    tuple
+        ``(reordered_weights, reordering)``; the reordering records the
+        permutation needed to restore the original channel order.
+    """
+    weights = np.asarray(weights)
+    sensitive_mask = np.asarray(sensitive_mask, dtype=bool)
+    if weights.ndim != 2:
+        raise ValueError(f"expected (channels, reduction), got {weights.shape}")
+    if sensitive_mask.shape != (weights.shape[0],):
+        raise ValueError(
+            f"sensitive_mask must have shape ({weights.shape[0]},), got {sensitive_mask.shape}"
+        )
+    sensitive_indices = np.flatnonzero(sensitive_mask)
+    normal_indices = np.flatnonzero(~sensitive_mask)
+    permutation = np.concatenate([sensitive_indices, normal_indices])
+    reordering = ChannelReordering(
+        permutation=permutation, sensitive_count=int(sensitive_indices.size)
+    )
+    return weights[permutation], reordering
+
+
+def unshuffle_output(output: np.ndarray, reordering: ChannelReordering) -> np.ndarray:
+    """Restore the original channel order of an output computed with reordered weights.
+
+    ``output`` has the channel dimension last (``(..., channels)``), matching
+    the GEMM view ``activations @ reordered_weights.T``.
+    """
+    output = np.asarray(output)
+    if output.shape[-1] != reordering.num_channels:
+        raise ValueError(
+            f"output has {output.shape[-1]} channels, reordering expects "
+            f"{reordering.num_channels}"
+        )
+    restored = np.empty_like(output)
+    restored[..., reordering.permutation] = output
+    return restored

@@ -1,0 +1,118 @@
+"""BitVert scheduler (Figure 8): bit-column direction selection and lane dispatch.
+
+For every weight bit column the scheduler decides which symbol is sparse
+(zeros or ones), inverts the column if ones dominate, and then drives four
+sliding priority encoders that locate the (at most ``sub_group/2``) effectual
+bits and produce the ``sel``/``val`` signals for the PE's activation muxes.
+It also tracks the column significance (``col_idx``) starting from
+``7 - #redundant_columns`` and decrementing every cycle.
+
+The sliding-window encoder arrangement is the paper's key trick for shrinking
+the activation muxes: encoder *i* only ever needs to select among activations
+``A_i .. A_{i + sub_group/2}``, because when at most half the bits of the
+sub-group are effectual, the *i*-th effectual bit (counting from position 0)
+can only sit in that window.  ``schedule_column`` implements exactly that
+hardware and the tests prove the window property holds for every bit pattern
+with ≤ 50 % effectual bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ColumnSchedule", "schedule_column", "column_index_sequence"]
+
+
+@dataclass(frozen=True)
+class ColumnSchedule:
+    """Control signals for one bit column of one sub-group.
+
+    Attributes
+    ----------
+    invert:
+        True when ones dominate the column, i.e. the PE must subtract the
+        selected activations from the sub-group activation sum (Eq. 3).
+    selections:
+        Index of the activation each lane must select, one entry per lane
+        (``sub_group / 2`` lanes).  Only meaningful where ``valid`` is True.
+    valid:
+        Lane-enable flags (``val`` in Figure 8); a lane is disabled when there
+        are fewer effectual bits than lanes.
+    """
+
+    invert: bool
+    selections: tuple[int, ...]
+    valid: tuple[bool, ...]
+
+    @property
+    def effectual_count(self) -> int:
+        return sum(self.valid)
+
+
+def schedule_column(bit_column: np.ndarray) -> ColumnSchedule:
+    """Produce the PE control signals for one sub-group bit column.
+
+    Parameters
+    ----------
+    bit_column:
+        1-D 0/1 array of length ``sub_group`` (8 in the BitVert design):
+        the bits of one significance across the sub-group's weights.
+
+    Returns
+    -------
+    ColumnSchedule
+        Inversion flag plus ``sel``/``val`` for the ``sub_group/2`` lanes.
+    """
+    bits = np.asarray(bit_column).astype(np.int64).ravel()
+    sub_group = bits.size
+    if sub_group % 2 != 0:
+        raise ValueError(f"sub-group size must be even, got {sub_group}")
+    lanes = sub_group // 2
+
+    popcount = int(bits.sum())
+    invert = popcount > lanes
+    working = (1 - bits) if invert else bits.copy()
+
+    selections: list[int] = []
+    valid: list[bool] = []
+    # Four sliding priority encoders: encoder i scans positions [i, i + lanes].
+    remaining = working.copy()
+    for lane in range(lanes):
+        window = remaining[lane : lane + lanes + 1]
+        hits = np.flatnonzero(window)
+        if hits.size:
+            position = lane + int(hits[0])
+            selections.append(position)
+            valid.append(True)
+            remaining[position] = 0  # mask the bit for the next encoder
+        else:
+            selections.append(lane)
+            valid.append(False)
+    if remaining.any():
+        # With ≤ 50 % effectual bits this cannot happen (proved in the tests);
+        # reaching it means the scheduler was fed a non-BBS column.
+        raise ValueError(
+            "bit column has more effectual bits than the PE lanes can absorb; "
+            "the BBS inversion should have prevented this"
+        )
+    return ColumnSchedule(invert=invert, selections=tuple(selections), valid=tuple(valid))
+
+
+def column_index_sequence(bits: int, num_redundant: int, stored_columns: int) -> list[int]:
+    """Significances (``col_idx``) of the stored columns, MSB first.
+
+    The first stored column of a group carries significance
+    ``bits - 1 - num_redundant`` (7 minus the redundant-column count for 8-bit
+    weights), and the index decrements by one for every further column, which
+    is exactly the counter the scheduler maintains (Section IV-B).
+    """
+    if num_redundant < 0 or stored_columns < 0:
+        raise ValueError("column counts must be non-negative")
+    start = bits - 1 - num_redundant
+    if stored_columns > start + 1:
+        raise ValueError(
+            f"cannot store {stored_columns} columns when the top significance is {start}"
+        )
+    return [start - offset for offset in range(stored_columns)]

@@ -1,0 +1,40 @@
+"""Stripes [19]: dense bit-serial baseline.
+
+Stripes processes weights bit-serially but skips nothing: every bit of every
+weight occupies a lane-cycle.  The paper treats it as the dense bit-serial
+reference all speedups in Figure 12 are normalized to, evaluated on the same
+8-bit models as every other design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .area_power import PEDesign, stripes_pe
+from .common import BitSerialAccelerator, GroupCycleStats
+from ..nn.synthetic import LayerWeights
+
+__all__ = ["StripesAccelerator"]
+
+
+class StripesAccelerator(BitSerialAccelerator):
+    """Dense bit-serial accelerator (no sparsity exploitation)."""
+
+    name = "Stripes"
+
+    def __init__(self, weight_bits: int = 8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.weight_bits = weight_bits
+
+    def pe_design(self) -> PEDesign:
+        return stripes_pe()
+
+    def group_cycle_stats(self, layer: LayerWeights) -> GroupCycleStats:
+        groups = self.layer_groups(layer)
+        # Every group needs group_size * weight_bits bit-operations, spread
+        # over the PE's lanes, with no skipping: the cycle count is a constant.
+        cycles_per_group = (
+            self.array.pe_group_size * self.weight_bits / self.array.lanes_per_pe
+        )
+        cycles = np.full(groups.shape[0], cycles_per_group)
+        return GroupCycleStats(actual=cycles, minimal=cycles.copy())

@@ -1,0 +1,118 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Lets a user regenerate any paper table/figure, run the ablations, or print the
+benchmark-suite summary without writing Python.  Every command prints the same
+text tables the experiment functions return.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli figure3
+    python -m repro.cli figure12 --models ResNet-50 ViT-Small
+    python -m repro.cli ablations
+    python -m repro.cli all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .eval import experiments
+from .eval.ablations import run_all_ablations
+from .eval.benchmarks import BENCHMARK_MODEL_NAMES, BenchmarkSuite
+
+__all__ = ["main", "EXPERIMENT_COMMANDS"]
+
+
+#: Experiment name -> (callable accepting optional models/suite kwargs, takes_models)
+EXPERIMENT_COMMANDS: dict[str, tuple[Callable[..., dict], bool]] = {
+    "figure1": (experiments.figure1_motivation, False),
+    "figure3": (experiments.figure3_sparsity_comparison, True),
+    "figure6": (experiments.figure6_kl_divergence, False),
+    "table1": (experiments.table1_models, False),
+    "figure11": (experiments.figure11_accuracy, True),
+    "table2": (experiments.table2_ant_comparison, False),
+    "table3": (experiments.table3_ptq_comparison, False),
+    "figure12": (experiments.figure12_speedup, True),
+    "figure13": (experiments.figure13_energy, True),
+    "figure14": (experiments.figure14_load_balance, True),
+    "figure15": (experiments.figure15_stall_breakdown, True),
+    "table4": (experiments.table4_pe_design_space, False),
+    "table5": (experiments.table5_pe_comparison, False),
+    "table6": (experiments.table6_olive_pe, False),
+    "figure16": (experiments.figure16_pareto, False),
+    "figure17": (experiments.figure17_llm, False),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures of the BBS (MICRO 2024) paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    for name in EXPERIMENT_COMMANDS:
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument("--models", nargs="+", choices=BENCHMARK_MODEL_NAMES, default=None)
+        sub.add_argument("--seed", type=int, default=0)
+
+    ablation_parser = subparsers.add_parser("ablations", help="run the design-choice ablations")
+    ablation_parser.add_argument("--seed", type=int, default=0)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--fast", action="store_true", help="use reduced model subsets")
+    all_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_single(name: str, args: argparse.Namespace) -> int:
+    function, takes_models = EXPERIMENT_COMMANDS[name]
+    kwargs: dict = {}
+    if takes_models and getattr(args, "models", None):
+        kwargs["models"] = args.models
+    if "seed" in function.__code__.co_varnames:
+        kwargs["seed"] = args.seed
+    if "suite" in function.__code__.co_varnames:
+        kwargs["suite"] = BenchmarkSuite(seed=args.seed)
+    start = time.time()
+    result = function(**kwargs)
+    print(result["table"])
+    print(f"[{name} regenerated in {time.time() - start:.1f}s]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("available experiments:")
+        for name in EXPERIMENT_COMMANDS:
+            print(f"  {name}")
+        print("  ablations")
+        print("  all")
+        return 0
+
+    if args.command == "ablations":
+        for name, result in run_all_ablations(seed=args.seed).items():
+            print(result["table"])
+        return 0
+
+    if args.command == "all":
+        results = experiments.run_all(fast=args.fast, seed=args.seed)
+        for name, result in results.items():
+            print(result["table"])
+        return 0
+
+    return _run_single(args.command, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""BBS compression encoding (Section III-B, "BBS Compression Encoding").
+
+After binary pruning, a weight group of ``group_size`` p-bit weights is stored
+as:
+
+* the surviving bit columns (``p - num_redundant - num_sparse`` columns of
+  ``group_size`` bits each), and
+* an 8-bit metadata word per group: 2 bits for the number of *redundant*
+  columns removed right after the sign column (0-3), and 6 bits for the *BBS
+  constant* — the rounded column average for the rounded-averaging strategy or
+  the zero-point shift for the zero-point-shifting strategy.
+
+This module defines the dataclasses that carry a pruned group through the
+pipeline (:class:`PrunedGroup`), the encoded storage form
+(:class:`EncodedGroup`), and the encode/decode round trip plus storage-size
+accounting used to report effective bit widths and memory-footprint
+reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .bitplane import (
+    column_weights,
+    count_redundant_columns,
+    from_bitplanes,
+    to_bitplanes,
+)
+
+__all__ = [
+    "PruningStrategy",
+    "METADATA_BITS",
+    "REDUNDANT_FIELD_BITS",
+    "CONSTANT_FIELD_BITS",
+    "MAX_REDUNDANT_COLUMNS",
+    "MAX_PRUNED_COLUMNS",
+    "PrunedGroup",
+    "EncodedGroup",
+    "encode_group",
+    "decode_group",
+    "group_storage_bits",
+    "effective_bits_per_weight",
+]
+
+
+class PruningStrategy(str, Enum):
+    """Which binary-pruning strategy produced a group (Section III-B)."""
+
+    NONE = "none"
+    ROUNDED_AVERAGE = "rounded_average"
+    ZERO_POINT_SHIFT = "zero_point_shift"
+
+
+#: Per-group metadata size in bits: 2 bits for the redundant-column count plus
+#: 6 bits for the BBS constant (the paper's empirically chosen encoding).
+REDUNDANT_FIELD_BITS = 2
+CONSTANT_FIELD_BITS = 6
+METADATA_BITS = REDUNDANT_FIELD_BITS + CONSTANT_FIELD_BITS
+
+#: The 2-bit field can describe at most 3 redundant columns.
+MAX_REDUNDANT_COLUMNS = (1 << REDUNDANT_FIELD_BITS) - 1
+
+#: Pruning more than 6 columns of an 8-bit weight leaves at most one
+#: effective bit, which the paper rules out as unacceptable.
+MAX_PRUNED_COLUMNS = CONSTANT_FIELD_BITS
+
+
+@dataclass(frozen=True)
+class PrunedGroup:
+    """Result of binary pruning applied to one weight group.
+
+    Attributes
+    ----------
+    values:
+        The *actual* (decoded) integer weights after pruning — what the dot
+        product will effectively use.
+    num_redundant:
+        Redundant columns removed right after the sign column (0-3).
+    num_sparse:
+        Bi-directional sparse columns generated at the low-significance end.
+    constant:
+        The BBS constant: the rounded low-bit average (unsigned) for
+        ``ROUNDED_AVERAGE``, the zero-point shift (signed) for
+        ``ZERO_POINT_SHIFT``, 0 when no pruning was applied.
+    strategy:
+        Which strategy produced the group.
+    bits:
+        Word width of the original weights (8 in all paper experiments).
+    """
+
+    values: np.ndarray
+    num_redundant: int
+    num_sparse: int
+    constant: int
+    strategy: PruningStrategy
+    bits: int = 8
+
+    @property
+    def num_pruned(self) -> int:
+        """Total pruned columns (redundant + sparse)."""
+        return self.num_redundant + self.num_sparse
+
+    @property
+    def stored_columns(self) -> int:
+        """Bit columns that must actually be stored for this group."""
+        return self.bits - self.num_pruned
+
+    def storage_bits(self) -> int:
+        """Total storage in bits for this group, including metadata."""
+        return group_storage_bits(len(self.values), self.num_pruned, self.bits)
+
+
+@dataclass(frozen=True)
+class EncodedGroup:
+    """On-"disk" (memory) representation of a BBS-compressed weight group.
+
+    ``stored_planes`` holds the surviving bit columns in MSB-first order with
+    shape ``(group_size, stored_columns)``.  The first stored column carries
+    the negative place value ``-2**(bits - 1 - num_redundant)``.
+    """
+
+    stored_planes: np.ndarray
+    num_redundant: int
+    num_sparse: int
+    constant: int
+    strategy: PruningStrategy
+    bits: int = 8
+
+    @property
+    def group_size(self) -> int:
+        return int(self.stored_planes.shape[0])
+
+    @property
+    def stored_columns(self) -> int:
+        return int(self.stored_planes.shape[1])
+
+    def storage_bits(self) -> int:
+        """Storage footprint of this group in bits (payload + metadata)."""
+        return self.group_size * self.stored_columns + METADATA_BITS
+
+    def metadata_word(self) -> int:
+        """Pack the metadata into the 8-bit word the hardware reads.
+
+        Layout (MSB to LSB): ``[redundant:2][constant:6]`` with the constant
+        stored as a 6-bit two's-complement field for the zero-point-shift
+        strategy and as an unsigned field for rounded averaging.
+        """
+        constant_field = self.constant & ((1 << CONSTANT_FIELD_BITS) - 1)
+        return (self.num_redundant << CONSTANT_FIELD_BITS) | constant_field
+
+
+def _validate_counts(num_redundant: int, num_sparse: int, bits: int) -> None:
+    if not 0 <= num_redundant <= MAX_REDUNDANT_COLUMNS:
+        raise ValueError(
+            f"num_redundant must be in [0, {MAX_REDUNDANT_COLUMNS}], got {num_redundant}"
+        )
+    if num_sparse < 0:
+        raise ValueError(f"num_sparse must be non-negative, got {num_sparse}")
+    if num_redundant + num_sparse > MAX_PRUNED_COLUMNS:
+        raise ValueError(
+            f"cannot prune more than {MAX_PRUNED_COLUMNS} columns of a {bits}-bit "
+            f"weight, got {num_redundant + num_sparse}"
+        )
+
+
+def group_storage_bits(group_size: int, num_pruned: int, bits: int = 8) -> int:
+    """Storage in bits of one compressed group (payload + 8-bit metadata)."""
+    if num_pruned < 0 or num_pruned > bits:
+        raise ValueError(f"num_pruned must be in [0, {bits}], got {num_pruned}")
+    if num_pruned == 0:
+        # Uncompressed groups (e.g. sensitive channels) carry no metadata.
+        return group_size * bits
+    return group_size * (bits - num_pruned) + METADATA_BITS
+
+
+def effective_bits_per_weight(group_size: int, num_pruned: int, bits: int = 8) -> float:
+    """Average stored bits per weight for a compressed group.
+
+    >>> effective_bits_per_weight(32, 4)
+    4.25
+    """
+    return group_storage_bits(group_size, num_pruned, bits) / float(group_size)
+
+
+def encode_group(pruned: PrunedGroup) -> EncodedGroup:
+    """Turn a :class:`PrunedGroup` into its stored bit-column form.
+
+    The encoder verifies the structural claims made by the pruner: the values
+    must actually fit in ``bits - num_redundant`` bits (redundant columns are
+    droppable) and, once the strategy's constant contribution is removed, the
+    ``num_sparse`` lowest columns must be constant across the group.
+    """
+    _validate_counts(pruned.num_redundant, pruned.num_sparse, pruned.bits)
+    values = np.asarray(pruned.values)
+    bits = pruned.bits
+
+    if pruned.strategy is PruningStrategy.ZERO_POINT_SHIFT:
+        # The stored form is the shifted weight (original + constant), whose
+        # low columns are all zero.
+        stored_values = values + pruned.constant
+    else:
+        stored_values = values
+
+    reduced_bits = bits - pruned.num_redundant
+    lo, hi = -(1 << (reduced_bits - 1)), (1 << (reduced_bits - 1)) - 1
+    if stored_values.size and (
+        int(stored_values.min()) < lo or int(stored_values.max()) > hi
+    ):
+        raise ValueError(
+            f"group values do not fit in {reduced_bits} bits after removing "
+            f"{pruned.num_redundant} redundant columns"
+        )
+
+    planes = to_bitplanes(stored_values, reduced_bits)
+    if pruned.num_sparse:
+        low = planes[:, reduced_bits - pruned.num_sparse:]
+        if pruned.strategy is PruningStrategy.ZERO_POINT_SHIFT:
+            if np.any(low != 0):
+                raise ValueError(
+                    "zero-point-shifted group has non-zero bits in the pruned columns"
+                )
+        elif pruned.strategy is PruningStrategy.ROUNDED_AVERAGE:
+            expected = to_bitplanes(
+                np.full(len(values), pruned.constant, dtype=np.int64),
+                pruned.num_sparse + 1,
+            )[:, 1:]
+            if not np.array_equal(low, expected):
+                raise ValueError(
+                    "rounded-average group's low columns do not match the BBS constant"
+                )
+        else:
+            raise ValueError("cannot have sparse columns without a pruning strategy")
+        planes = planes[:, : reduced_bits - pruned.num_sparse]
+
+    return EncodedGroup(
+        stored_planes=planes,
+        num_redundant=pruned.num_redundant,
+        num_sparse=pruned.num_sparse,
+        constant=pruned.constant,
+        strategy=pruned.strategy,
+        bits=bits,
+    )
+
+
+def decode_group(encoded: EncodedGroup) -> np.ndarray:
+    """Reconstruct the actual integer weights from an :class:`EncodedGroup`.
+
+    Inverse of :func:`encode_group`: ``decode_group(encode_group(p))`` equals
+    ``p.values`` for every valid :class:`PrunedGroup`.
+    """
+    reduced_bits = encoded.bits - encoded.num_redundant
+    stored_bits = reduced_bits - encoded.num_sparse
+    if encoded.stored_planes.shape[1] != stored_bits:
+        raise ValueError(
+            f"stored planes have {encoded.stored_planes.shape[1]} columns, "
+            f"expected {stored_bits}"
+        )
+    weights = column_weights(reduced_bits, signed=True)[:stored_bits]
+    high_part = np.tensordot(
+        encoded.stored_planes.astype(np.int64), weights, axes=([-1], [0])
+    )
+
+    if encoded.strategy is PruningStrategy.ZERO_POINT_SHIFT:
+        return high_part - encoded.constant
+    if encoded.strategy is PruningStrategy.ROUNDED_AVERAGE:
+        return high_part + encoded.constant
+    if encoded.num_sparse:
+        raise ValueError("cannot decode sparse columns without a pruning strategy")
+    return high_part
+
+
+def unpruned_group(values: np.ndarray, bits: int = 8) -> PrunedGroup:
+    """Wrap an uncompressed (sensitive-channel) group in the common dataclass."""
+    values = np.asarray(values)
+    return PrunedGroup(
+        values=values.copy(),
+        num_redundant=0,
+        num_sparse=0,
+        constant=0,
+        strategy=PruningStrategy.NONE,
+        bits=bits,
+    )
+
+
+def natural_redundant_columns(values: np.ndarray, bits: int = 8) -> int:
+    """Redundant-column count of an unmodified group, capped at the 2-bit field."""
+    planes = to_bitplanes(np.asarray(values), bits)
+    return count_redundant_columns(planes, max_redundant=MAX_REDUNDANT_COLUMNS)
+
+
+__all__ += ["unpruned_group", "natural_redundant_columns"]

@@ -1,0 +1,92 @@
+"""Weight-grouping utilities.
+
+BBS operates on *groups* of weights that contribute to the same dot-product
+output (Section III-A).  For a 2-D weight matrix (output channels × input
+features, the canonical GEMM view used by both convolutions via im2col and by
+transformer linear layers) a group is a contiguous slice of ``group_size``
+input features within one output channel.  This module reshapes tensors to and
+from the ``(num_channels, num_groups, group_size)`` layout that the pruning
+and accelerator code operates on, padding the reduction dimension if needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GroupedTensor", "group_weights", "ungroup_weights"]
+
+
+@dataclass(frozen=True)
+class GroupedTensor:
+    """A weight matrix reshaped into dot-product groups.
+
+    Attributes
+    ----------
+    groups:
+        Array of shape ``(channels, num_groups, group_size)``.
+    original_shape:
+        Shape of the original 2-D weight matrix ``(channels, reduction)``.
+    group_size:
+        Number of weights per group.
+    pad:
+        Number of zero-padding elements appended to the reduction dimension so
+        it divides evenly into groups.
+    """
+
+    groups: np.ndarray
+    original_shape: tuple[int, int]
+    group_size: int
+    pad: int
+
+    @property
+    def num_channels(self) -> int:
+        return self.groups.shape[0]
+
+    @property
+    def num_groups(self) -> int:
+        return self.groups.shape[1]
+
+    def flat_groups(self) -> np.ndarray:
+        """All groups stacked into shape ``(channels * num_groups, group_size)``."""
+        return self.groups.reshape(-1, self.group_size)
+
+
+def group_weights(weights: np.ndarray, group_size: int = 32) -> GroupedTensor:
+    """Reshape a 2-D weight matrix into dot-product groups.
+
+    Convolution weights of shape ``(K, C, R, S)`` should first be flattened to
+    ``(K, C * R * S)``; :func:`repro.nn.workloads.layer_weight_matrix` does
+    this for the model-zoo layers.
+
+    The reduction dimension is zero-padded up to a multiple of ``group_size``.
+    Zero padding is neutral for every analysis in this package: padded zeros
+    contribute no one-bits, no value, and no dot-product error.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError(
+            f"expected a 2-D (channels, reduction) matrix, got shape {weights.shape}"
+        )
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    channels, reduction = weights.shape
+    pad = (-reduction) % group_size
+    if pad:
+        weights = np.pad(weights, ((0, 0), (0, pad)))
+    num_groups = (reduction + pad) // group_size
+    grouped = weights.reshape(channels, num_groups, group_size)
+    return GroupedTensor(
+        groups=grouped,
+        original_shape=(channels, reduction),
+        group_size=group_size,
+        pad=pad,
+    )
+
+
+def ungroup_weights(grouped: GroupedTensor) -> np.ndarray:
+    """Inverse of :func:`group_weights`; strips any padding that was added."""
+    channels, reduction = grouped.original_shape
+    flat = grouped.groups.reshape(channels, -1)
+    return flat[:, :reduction].copy()

@@ -1,0 +1,197 @@
+"""Binary pruning strategy 2: zero-point shifting (Figure 5, Algorithm 1).
+
+For aggressive pruning budgets (4 columns in the paper's moderate setting),
+replacing many low columns with one rounded average costs too much MSE.
+Zero-point shifting instead searches for a constant to *add* to the whole
+group (shifting its zero point) such that, after the shift, the low columns
+can be zeroed out — each weight either truncates down or rounds up to the
+next multiple of ``2**k`` — with minimal error against the original weights.
+The chosen constant is stored in the 6-bit BBS-constant metadata field and is
+subtracted back during computation (``actual = shifted_pruned - constant``).
+
+The search over the 64 possible 6-bit constants is exhaustive and fully
+vectorized over both the candidate constants and the groups of a layer, which
+is what makes whole-model compression take seconds rather than hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .encoding import (
+    CONSTANT_FIELD_BITS,
+    MAX_PRUNED_COLUMNS,
+    MAX_REDUNDANT_COLUMNS,
+    PrunedGroup,
+    PruningStrategy,
+)
+
+__all__ = ["zero_point_shift_group", "zero_point_shift_groups"]
+
+
+def _constant_candidates(constant_bits: int) -> np.ndarray:
+    half = 1 << (constant_bits - 1)
+    return np.arange(-half, half, dtype=np.int64)
+
+
+def zero_point_shift_group(
+    group: np.ndarray,
+    num_columns: int,
+    bits: int = 8,
+    constant_bits: int = CONSTANT_FIELD_BITS,
+) -> PrunedGroup:
+    """Apply zero-point shifting to a single weight group.
+
+    Parameters
+    ----------
+    group:
+        1-D integer weight group in the signed ``bits`` range.
+    num_columns:
+        Total number of bit columns to prune (redundant + zeroed).
+    bits:
+        Weight word width.
+    constant_bits:
+        Width of the signed zero-point constant (6 in the BBS encoding).
+
+    Returns
+    -------
+    PrunedGroup
+        ``values`` holds the actual weights after compression
+        (``shifted_pruned - constant``).
+    """
+    group = np.asarray(group)
+    if group.ndim != 1:
+        raise ValueError(f"expected a 1-D group, got shape {group.shape}")
+    values, redundant, sparse, constant = zero_point_shift_groups(
+        group[None, :], num_columns, bits=bits, constant_bits=constant_bits
+    )
+    return PrunedGroup(
+        values=values[0],
+        num_redundant=int(redundant[0]),
+        num_sparse=int(sparse[0]),
+        constant=int(constant[0]),
+        strategy=PruningStrategy.ZERO_POINT_SHIFT,
+        bits=bits,
+    )
+
+
+def zero_point_shift_groups(
+    groups: np.ndarray,
+    num_columns: int,
+    bits: int = 8,
+    constant_bits: int = CONSTANT_FIELD_BITS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized zero-point shifting over many groups (Algorithm 1).
+
+    Returns
+    -------
+    tuple
+        ``(actual_values, num_redundant, num_sparse, constants)``.
+        ``actual_values`` are the decoded weights (shift already removed).
+    """
+    groups = np.asarray(groups).astype(np.int64)
+    if groups.ndim != 2:
+        raise ValueError(f"expected (num_groups, group_size), got {groups.shape}")
+    if num_columns < 0 or num_columns > MAX_PRUNED_COLUMNS:
+        raise ValueError(
+            f"num_columns must be in [0, {MAX_PRUNED_COLUMNS}], got {num_columns}"
+        )
+    num_groups = groups.shape[0]
+    if num_columns == 0:
+        zeros = np.zeros(num_groups, dtype=np.int64)
+        return groups.copy(), zeros, zeros.copy(), zeros.copy()
+
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    candidates = _constant_candidates(constant_bits)  # (C,)
+
+    best_mse = np.full(num_groups, np.inf)
+    best_values = groups.copy()
+    best_redundant = np.zeros(num_groups, dtype=np.int64)
+    best_sparse = np.full(num_groups, num_columns, dtype=np.int64)
+    best_constant = np.zeros(num_groups, dtype=np.int64)
+
+    for constant in candidates:
+        shifted = np.clip(groups + constant, lo, hi)
+        redundant = _redundant_columns_batch(shifted, bits)
+        redundant = np.minimum(redundant, num_columns)
+        sparse = num_columns - redundant
+        pruned_shifted = _prune_low_columns(
+            shifted, groups + constant, sparse, bits, redundant, int(constant)
+        )
+        actual = pruned_shifted - constant
+        mse = ((actual - groups) ** 2).mean(axis=1)
+
+        improved = mse < best_mse
+        if np.any(improved):
+            best_mse = np.where(improved, mse, best_mse)
+            best_values[improved] = actual[improved]
+            best_redundant[improved] = redundant[improved]
+            best_sparse[improved] = sparse[improved]
+            best_constant[improved] = constant
+
+    return best_values, best_redundant, best_sparse, best_constant
+
+
+def _redundant_columns_batch(groups: np.ndarray, bits: int) -> np.ndarray:
+    """Redundant-column count per group (vectorized, capped at the 2-bit field).
+
+    A column right after the sign bit is redundant for the whole group exactly
+    when every member still fits in one fewer two's-complement bit, so the
+    group's redundant-column count is ``bits - 1 - bit_length(max_magnitude)``
+    where the "magnitude" of a negative value ``v`` is ``-v - 1``.  This
+    arithmetic form avoids materializing bit planes inside the 64-candidate
+    search loop of Algorithm 1.
+    """
+    magnitudes = np.where(groups >= 0, groups, -groups - 1).max(axis=1)
+    # bit_length(m) = floor(log2(m + 0.5)) + 1 for m >= 0 (the +0.5 keeps exact
+    # powers of two on the right side of the floor and maps m == 0 to 0).
+    bit_length = np.floor(np.log2(magnitudes.astype(np.float64) + 0.5)).astype(np.int64) + 1
+    redundant = bits - (bit_length + 1)
+    redundant = np.clip(redundant, 0, MAX_REDUNDANT_COLUMNS)
+    return redundant.astype(np.int64)
+
+
+def _prune_low_columns(
+    shifted_clipped: np.ndarray,
+    shifted_unclipped: np.ndarray,
+    sparse: np.ndarray,
+    bits: int,
+    redundant: np.ndarray,
+    constant: int,
+) -> np.ndarray:
+    """Zero the ``sparse`` low columns of every group, rounding each weight
+    down or up to whichever multiple of ``2**sparse`` is closer to its
+    (unclipped) shifted value, without violating the redundant-column bound
+    and keeping the decoded weight (``pruned - constant``) in the word range.
+
+    ``sparse`` and ``redundant`` are per-group; groups are processed in
+    batches keyed by their sparse-column count.
+    """
+    result = shifted_clipped.copy()
+    word_lo, word_hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    for k in np.unique(sparse):
+        k = int(k)
+        if k == 0:
+            continue
+        mask = sparse == k
+        block = 1 << k
+        subset = shifted_clipped[mask]
+        target = shifted_unclipped[mask]
+        down = (subset // block) * block
+        up = down + block
+        # The redundant columns recorded in metadata promise that the stored
+        # value fits in (bits - redundant) bits; rounding up must not break
+        # that promise, nor exceed the word range.
+        reduced_hi = (1 << (bits - 1 - redundant[mask])) - 1
+        up_limit = np.minimum(reduced_hi, word_hi)[:, None]
+        err_down = np.abs(down - target).astype(np.float64)
+        err_up = np.abs(up - target).astype(np.float64)
+        # Keep the decoded weight (pruned - constant) within the word range:
+        # out-of-range candidates only win if the alternative is structurally
+        # forbidden (which never happens simultaneously; see the tests).
+        out_of_range_penalty = float(1 << (2 * bits))
+        err_down += np.where(down - constant < word_lo, out_of_range_penalty, 0.0)
+        err_up += np.where(up - constant > word_hi, out_of_range_penalty, 0.0)
+        err_up = np.where(up <= up_limit, err_up, np.inf)
+        result[mask] = np.where(err_up < err_down, up, down)
+    return result

@@ -1,0 +1,105 @@
+"""Benchmark suite: shared model/weight/accelerator setup for the experiments.
+
+Synthesizing weights and compressing a model with the moderate (zero-point
+shifting) preset are the expensive steps of the evaluation, so the suite
+caches both per ``(model, seed)`` and exposes factory helpers for the standard
+accelerator line-up of Figures 12/13.  Experiments and benchmarks construct
+one suite and share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..accelerators import (
+    AntAccelerator,
+    ArrayConfig,
+    BitletAccelerator,
+    BitVertAccelerator,
+    BitWaveAccelerator,
+    PragmaticAccelerator,
+    SparTenAccelerator,
+    StripesAccelerator,
+)
+from ..core.global_pruning import CONSERVATIVE_PRESET, MODERATE_PRESET
+from ..nn.model_zoo import ModelSpec, get_model
+from ..nn.synthetic import LayerWeights, synthesize_model
+
+__all__ = ["BenchmarkSuite", "BENCHMARK_MODEL_NAMES", "ACCELERATOR_NAMES"]
+
+
+#: The seven DNN benchmarks of Table I, in the paper's order.
+BENCHMARK_MODEL_NAMES = [
+    "VGG-16",
+    "ResNet-34",
+    "ResNet-50",
+    "ViT-Small",
+    "ViT-Base",
+    "BERT-MRPC",
+    "BERT-SST2",
+]
+
+#: The accelerator line-up of Figures 12/13, in the paper's order.
+ACCELERATOR_NAMES = [
+    "SparTen",
+    "ANT",
+    "Stripes",
+    "Pragmatic",
+    "Bitlet",
+    "BitWave",
+    "BitVert (conservative)",
+    "BitVert (moderate)",
+]
+
+
+@dataclass
+class BenchmarkSuite:
+    """Cached models, synthetic weights and accelerator factories.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the synthetic weight generation.
+    max_channels, max_reduction:
+        Per-layer sampling caps passed to :func:`repro.nn.synthetic.synthesize_model`;
+        the defaults keep a full 7-model × 8-accelerator sweep under a few
+        minutes while preserving per-group statistics.
+    """
+
+    seed: int = 0
+    max_channels: int = 128
+    max_reduction: int = 1024
+    array: ArrayConfig = field(default_factory=ArrayConfig)
+    _weights: dict[str, dict[str, LayerWeights]] = field(default_factory=dict, repr=False)
+    _models: dict[str, ModelSpec] = field(default_factory=dict, repr=False)
+
+    def model(self, name: str) -> ModelSpec:
+        if name not in self._models:
+            self._models[name] = get_model(name)
+        return self._models[name]
+
+    def weights(self, name: str) -> dict[str, LayerWeights]:
+        if name not in self._weights:
+            self._weights[name] = synthesize_model(
+                self.model(name),
+                seed=self.seed,
+                max_channels=self.max_channels,
+                max_reduction=self.max_reduction,
+            )
+        return self._weights[name]
+
+    def accelerators(self, array: ArrayConfig | None = None) -> dict[str, object]:
+        """The standard accelerator line-up (fresh instances, shared geometry)."""
+        array = array or self.array
+        return {
+            "SparTen": SparTenAccelerator(array=array),
+            "ANT": AntAccelerator(array=array),
+            "Stripes": StripesAccelerator(array=array),
+            "Pragmatic": PragmaticAccelerator(array=array),
+            "Bitlet": BitletAccelerator(array=array),
+            "BitWave": BitWaveAccelerator(array=array),
+            "BitVert (conservative)": BitVertAccelerator(
+                preset=CONSERVATIVE_PRESET, array=array
+            ),
+            "BitVert (moderate)": BitVertAccelerator(preset=MODERATE_PRESET, array=array),
+        }

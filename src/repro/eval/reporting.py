@@ -1,0 +1,117 @@
+"""Plain-text result formatting for the experiment harness.
+
+The paper's evaluation produces bar charts and tables; the reproduction's
+experiment functions return their underlying numbers as lists of row dicts,
+and this module renders them as aligned text tables so the benchmark harness
+can print "the same rows/series the paper reports".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["format_table", "format_value", "geometric_mean", "render_bar_chart"]
+
+
+def format_value(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats get a fixed precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict[str, Any]],
+    columns: list[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a list of row dicts as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Row dictionaries; missing keys render as empty cells.
+    columns:
+        Column order (defaults to the keys of the first row).
+    precision:
+        Decimal places for floats.
+    title:
+        Optional heading printed above the table.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    rendered = [
+        [format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts += [header, separator, body]
+    return "\n".join(parts) + "\n"
+
+
+def render_bar_chart(
+    series: dict[str, float],
+    width: int = 50,
+    title: str | None = None,
+    reference: float | None = None,
+) -> str:
+    """Render a horizontal ASCII bar chart of a name -> value series.
+
+    The paper's figures are bar charts; this renderer lets the CLI and the
+    examples show the regenerated series directly in a terminal.  Bars are
+    scaled to the largest value (or to ``reference`` when given, e.g. 1.0 for
+    normalized energy) and annotated with the numeric value, one line per
+    entry, e.g. ``BitVert |########## 3.031``.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if not series:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    scale = reference if reference is not None else max(series.values())
+    if scale <= 0:
+        scale = 1.0
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in series.items():
+        bar_length = int(round(min(max(value, 0.0), scale) / scale * width))
+        bar = "#" * bar_length
+        lines.append(f"{name.ljust(name_width)} |{bar.ljust(width)} {value:.3f}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used for the "Geomean" column of Figures 12/13)."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

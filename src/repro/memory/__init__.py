@@ -1,0 +1,21 @@
+"""Memory-system substrate: SRAM buffers, DRAM model, tiling/traffic analysis."""
+
+from .dram import DEFAULT_DRAM, DramModel
+from .hierarchy import MemorySystem, MemoryTraffic
+from .sram import (
+    DEFAULT_ACTIVATION_BUFFER,
+    DEFAULT_WEIGHT_BUFFER,
+    SramBuffer,
+    buffer_fit_fraction,
+)
+
+__all__ = [
+    "DEFAULT_DRAM",
+    "DramModel",
+    "MemorySystem",
+    "MemoryTraffic",
+    "DEFAULT_ACTIVATION_BUFFER",
+    "DEFAULT_WEIGHT_BUFFER",
+    "SramBuffer",
+    "buffer_fit_fraction",
+]

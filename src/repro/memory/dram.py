@@ -1,0 +1,65 @@
+"""DDR3-style off-chip DRAM model.
+
+The paper estimates DRAM power with the DDR3 device model of DRAMsim3 [22].
+For the reproduction we need two things from the DRAM: the energy charged per
+byte moved (dominant term of the off-chip bar in Figure 13) and the sustained
+bandwidth that bounds memory-limited layers in the performance model.  Both
+are captured by a small dataclass with representative DDR3-1600 numbers; the
+activation/row-buffer structure of a full DRAM simulator changes the absolute
+constants, not the accelerator ordering the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramModel", "DEFAULT_DRAM"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Off-chip memory characterized by per-byte energy and sustained bandwidth.
+
+    Attributes
+    ----------
+    name:
+        Device name (informational).
+    energy_per_byte_pj:
+        Average access energy per byte moved, including I/O and background
+        share.  DDR3 at moderate utilization costs on the order of
+        100-150 pJ/byte; we use 120.
+    bandwidth_gb_per_s:
+        Sustained bandwidth available to the accelerator.
+    """
+
+    name: str = "DDR3-1600"
+    energy_per_byte_pj: float = 120.0
+    bandwidth_gb_per_s: float = 12.8
+
+    def access_energy_pj(self, num_bytes: float) -> float:
+        """Energy in pJ to move ``num_bytes`` to or from DRAM."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes * self.energy_per_byte_pj
+
+    def transfer_cycles(self, num_bytes: float, clock_ghz: float) -> float:
+        """Accelerator cycles needed to stream ``num_bytes`` at this bandwidth.
+
+        Parameters
+        ----------
+        num_bytes:
+            Bytes moved.
+        clock_ghz:
+            Accelerator clock in GHz (0.8 for the paper's 800 MHz designs).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        bytes_per_second = self.bandwidth_gb_per_s * 1e9
+        seconds = num_bytes / bytes_per_second
+        return seconds * clock_ghz * 1e9
+
+
+#: Default DDR3 device used by every accelerator in the evaluation.
+DEFAULT_DRAM = DramModel()

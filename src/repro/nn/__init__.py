@@ -1,0 +1,104 @@
+"""Numpy DNN substrate: kernels, layers, model zoo, synthetic weights, trainer.
+
+* :mod:`repro.nn.functional` — conv/linear/attention/normalization kernels.
+* :mod:`repro.nn.layers` — module-style inference layers with GEMM-layout
+  weight access for in-place compression.
+* :mod:`repro.nn.model_zoo` — exact layer shapes of the paper's benchmarks
+  (VGG-16, ResNet-34/50, ViT-S/B, BERT, Llama-3-8B).
+* :mod:`repro.nn.synthetic` — statistically realistic synthetic INT8 weights
+  and activations for those shapes.
+* :mod:`repro.nn.workloads` — GEMM workload extraction for the accelerator
+  simulators.
+* :mod:`repro.nn.trainer` — a small numpy MLP for end-to-end accuracy
+  experiments.
+"""
+
+from . import functional
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GELU,
+    Layer,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from .model_zoo import (
+    Conv2dSpec,
+    LayerSpec,
+    LinearSpec,
+    MODEL_BUILDERS,
+    ModelSpec,
+    benchmark_models,
+    bert_base,
+    get_model,
+    llama3_8b,
+    resnet34,
+    resnet50,
+    vgg16,
+    vit_base,
+    vit_small,
+)
+from .synthetic import (
+    DEFAULT_CNN_STATS,
+    DEFAULT_TRANSFORMER_STATS,
+    LayerWeights,
+    WeightStatistics,
+    synthesize_activations,
+    synthesize_float_weights,
+    synthesize_layer,
+    synthesize_model,
+)
+from .trainer import (
+    ClassificationDataset,
+    MLPClassifier,
+    accuracy_under_compression,
+    make_classification_dataset,
+)
+from .workloads import GemmWorkload, layer_workload, model_workloads
+
+__all__ = [
+    "functional",
+    "AvgPool2d",
+    "Conv2d",
+    "Flatten",
+    "GELU",
+    "Layer",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "Conv2dSpec",
+    "LayerSpec",
+    "LinearSpec",
+    "MODEL_BUILDERS",
+    "ModelSpec",
+    "benchmark_models",
+    "bert_base",
+    "get_model",
+    "llama3_8b",
+    "resnet34",
+    "resnet50",
+    "vgg16",
+    "vit_base",
+    "vit_small",
+    "DEFAULT_CNN_STATS",
+    "DEFAULT_TRANSFORMER_STATS",
+    "LayerWeights",
+    "WeightStatistics",
+    "synthesize_activations",
+    "synthesize_float_weights",
+    "synthesize_layer",
+    "synthesize_model",
+    "ClassificationDataset",
+    "MLPClassifier",
+    "accuracy_under_compression",
+    "make_classification_dataset",
+    "GemmWorkload",
+    "layer_workload",
+    "model_workloads",
+]

@@ -1,0 +1,271 @@
+"""Numpy implementations of the DNN operators the benchmark models use.
+
+The paper's evaluation runs seven pre-trained PyTorch/HuggingFace models.  We
+do not have PyTorch in this environment, so this module provides the numpy
+forward kernels needed to (a) execute small end-to-end networks for the
+accuracy experiments and (b) define the dataflow semantics (im2col GEMM view)
+that the accelerator models and the binary-pruning code share.
+
+All kernels use the ``(batch, channels, height, width)`` layout for images and
+``(batch, tokens, features)`` for sequences, matching PyTorch conventions so
+the model-zoo layer shapes read exactly like the published architectures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "linear",
+    "relu",
+    "gelu",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "batch_norm",
+    "max_pool2d",
+    "avg_pool2d",
+    "scaled_dot_product_attention",
+    "cross_entropy",
+]
+
+
+def im2col(
+    inputs: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[np.ndarray, int, int]:
+    """Unfold image patches into GEMM columns.
+
+    Parameters
+    ----------
+    inputs:
+        ``(batch, channels, height, width)`` tensor.
+    kernel, stride, padding:
+        Square kernel size, stride and symmetric zero padding.
+
+    Returns
+    -------
+    tuple
+        ``(columns, out_height, out_width)`` where ``columns`` has shape
+        ``(batch, out_height * out_width, channels * kernel * kernel)``.
+    """
+    batch, channels, height, width = inputs.shape
+    if padding:
+        inputs = np.pad(
+            inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride} and padding {padding} does not "
+            f"fit a {height}x{width} input"
+        )
+    # Gather strided patch views, then reshape to GEMM columns.
+    strides = inputs.strides
+    view = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    columns = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold GEMM columns back into an image tensor (adjoint of :func:`im2col`)."""
+    batch, channels, height, width = input_shape
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    out_h = (padded_h - kernel) // stride + 1
+    out_w = (padded_w - kernel) // stride + 1
+    patches = columns.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    output = np.zeros((batch, channels, padded_h, padded_w), dtype=columns.dtype)
+    for row in range(kernel):
+        for col in range(kernel):
+            output[:, :, row : row + stride * out_h : stride,
+                   col : col + stride * out_w : stride] += patches[
+                :, :, :, :, row, col
+            ].transpose(0, 3, 1, 2)
+    if padding:
+        output = output[:, :, padding:-padding, padding:-padding]
+    return output
+
+
+def conv2d(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D convolution via im2col GEMM.
+
+    ``weight`` has shape ``(out_channels, in_channels, kernel, kernel)``.
+    """
+    out_channels, in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if inputs.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {inputs.shape[1]} channels, weight expects {in_channels}"
+        )
+    columns, out_h, out_w = im2col(inputs, kernel, stride, padding)
+    flat_weight = weight.reshape(out_channels, -1)
+    output = columns @ flat_weight.T  # (batch, out_h*out_w, out_channels)
+    if bias is not None:
+        output = output + bias
+    return output.transpose(0, 2, 1).reshape(inputs.shape[0], out_channels, out_h, out_w)
+
+
+def linear(
+    inputs: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Affine transform ``inputs @ weight.T + bias`` (PyTorch weight layout)."""
+    output = inputs @ weight.T
+    if bias is not None:
+        output = output + bias
+    return output
+
+
+def relu(inputs: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(inputs, 0.0)
+
+
+def gelu(inputs: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as used by ViT/BERT)."""
+    return (
+        0.5
+        * inputs
+        * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (inputs + 0.044715 * inputs**3)))
+    )
+
+
+def softmax(inputs: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = inputs - inputs.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(inputs: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = inputs - inputs.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def layer_norm(
+    inputs: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    epsilon: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalization over the last dimension."""
+    mean = inputs.mean(axis=-1, keepdims=True)
+    var = inputs.var(axis=-1, keepdims=True)
+    normalized = (inputs - mean) / np.sqrt(var + epsilon)
+    if gamma is not None:
+        normalized = normalized * gamma
+    if beta is not None:
+        normalized = normalized + beta
+    return normalized
+
+
+def batch_norm(
+    inputs: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    epsilon: float = 1e-5,
+) -> np.ndarray:
+    """Inference-mode batch normalization for ``(batch, channels, H, W)`` tensors."""
+    shape = (1, -1, 1, 1)
+    normalized = (inputs - running_mean.reshape(shape)) / np.sqrt(
+        running_var.reshape(shape) + epsilon
+    )
+    if gamma is not None:
+        normalized = normalized * gamma.reshape(shape)
+    if beta is not None:
+        normalized = normalized + beta.reshape(shape)
+    return normalized
+
+
+def max_pool2d(inputs: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling with a square window."""
+    stride = stride or kernel
+    batch, channels, height, width = inputs.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    strides = inputs.strides
+    view = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    return view.max(axis=(4, 5))
+
+
+def avg_pool2d(inputs: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling with a square window."""
+    stride = stride or kernel
+    batch, channels, height, width = inputs.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    strides = inputs.strides
+    view = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    return view.mean(axis=(4, 5))
+
+
+def scaled_dot_product_attention(
+    query: np.ndarray, key: np.ndarray, value: np.ndarray
+) -> np.ndarray:
+    """Standard attention ``softmax(Q K^T / sqrt(d)) V`` over the last two dims."""
+    d = query.shape[-1]
+    scores = query @ np.swapaxes(key, -1, -2) / np.sqrt(d)
+    return softmax(scores, axis=-1) @ value
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of integer labels under the rows of ``logits``."""
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(logits.shape[0])
+    return float(-log_probs[rows, labels].mean())

@@ -1,0 +1,156 @@
+"""Lightweight inference-layer objects built on :mod:`repro.nn.functional`.
+
+These classes give the examples and the end-to-end tests a familiar
+module-style API (objects holding weights with a ``__call__`` forward) without
+pulling in a deep-learning framework.  Each weight-bearing layer exposes its
+weights in the ``(channels, reduction)`` GEMM layout used by the BBS pruning
+code, so a network can be compressed in place and re-run to observe the effect
+on its outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "GELU",
+    "LayerNorm",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Sequential",
+]
+
+
+class Layer:
+    """Base class: a callable with optional weights in GEMM layout."""
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def weight_matrix(self) -> np.ndarray | None:
+        """The layer's weights as a ``(channels, reduction)`` matrix, if any."""
+        return None
+
+    def set_weight_matrix(self, matrix: np.ndarray) -> None:
+        """Replace the layer's weights from a ``(channels, reduction)`` matrix."""
+        raise NotImplementedError(f"{type(self).__name__} has no weights")
+
+
+class Linear(Layer):
+    """Affine layer with PyTorch-style ``(out_features, in_features)`` weights."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = rng.uniform(-limit, limit, size=(out_features, in_features))
+        self.bias = np.zeros(out_features)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return F.linear(inputs, self.weight, self.bias)
+
+    def weight_matrix(self) -> np.ndarray:
+        return self.weight
+
+    def set_weight_matrix(self, matrix: np.ndarray) -> None:
+        if matrix.shape != self.weight.shape:
+            raise ValueError(f"expected shape {self.weight.shape}, got {matrix.shape}")
+        self.weight = np.asarray(matrix, dtype=np.float64)
+
+
+class Conv2d(Layer):
+    """2-D convolution with ``(out_channels, in_channels, k, k)`` weights."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / fan_in),
+                                 size=(out_channels, in_channels, kernel, kernel))
+        self.bias = np.zeros(out_channels)
+        self.stride = stride
+        self.padding = padding
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return F.conv2d(inputs, self.weight, self.bias, self.stride, self.padding)
+
+    def weight_matrix(self) -> np.ndarray:
+        out_channels = self.weight.shape[0]
+        return self.weight.reshape(out_channels, -1)
+
+    def set_weight_matrix(self, matrix: np.ndarray) -> None:
+        expected = (self.weight.shape[0], int(np.prod(self.weight.shape[1:])))
+        if matrix.shape != expected:
+            raise ValueError(f"expected shape {expected}, got {matrix.shape}")
+        self.weight = np.asarray(matrix, dtype=np.float64).reshape(self.weight.shape)
+
+
+class ReLU(Layer):
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return F.relu(inputs)
+
+
+class GELU(Layer):
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return F.gelu(inputs)
+
+
+class LayerNorm(Layer):
+    def __init__(self, features: int):
+        self.gamma = np.ones(features)
+        self.beta = np.zeros(features)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return F.layer_norm(inputs, self.gamma, self.beta)
+
+
+class MaxPool2d(Layer):
+    def __init__(self, kernel: int, stride: int | None = None):
+        self.kernel = kernel
+        self.stride = stride
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return F.max_pool2d(inputs, self.kernel, self.stride)
+
+
+class AvgPool2d(Layer):
+    def __init__(self, kernel: int, stride: int | None = None):
+        self.kernel = kernel
+        self.stride = stride
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d(inputs, self.kernel, self.stride)
+
+
+class Flatten(Layer):
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs.reshape(inputs.shape[0], -1)
+
+
+class Sequential(Layer):
+    """A pipeline of layers applied in order."""
+
+    def __init__(self, *layers: Layer):
+        self.layers = list(layers)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            inputs = layer(inputs)
+        return inputs
+
+    def weight_layers(self) -> list[Layer]:
+        """The layers that carry weights, in execution order."""
+        return [layer for layer in self.layers if layer.weight_matrix() is not None]

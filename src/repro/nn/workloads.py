@@ -1,0 +1,100 @@
+"""GEMM workload extraction for the accelerator models.
+
+Every weight layer of every benchmark model is lowered to a GEMM of shape
+``(M, K) x (K, N)``: convolutions through the im2col view (``M`` = output
+pixels, ``K`` = ``C*R*S``, ``N`` = output channels) and linear layers directly
+(``M`` = tokens).  The accelerator simulators consume these workloads together
+with the per-layer weight statistics produced by :mod:`repro.nn.synthetic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model_zoo import Conv2dSpec, LayerSpec, LinearSpec, ModelSpec
+
+__all__ = ["GemmWorkload", "layer_workload", "model_workloads"]
+
+
+@dataclass(frozen=True)
+class GemmWorkload:
+    """One weight-layer GEMM as seen by the accelerators.
+
+    Attributes
+    ----------
+    name:
+        Layer name.
+    m:
+        Output rows (pixels or tokens) per inference.
+    k:
+        Reduction dimension (weights per output channel).
+    n:
+        Output channels.
+    repeat:
+        Number of identical layers this workload stands for.
+    weight_bits:
+        Nominal (uncompressed) weight precision.
+    activation_bits:
+        Activation precision.
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    repeat: int = 1
+    weight_bits: int = 8
+    activation_bits: int = 8
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per inference (for one of the `repeat` layers)."""
+        return self.m * self.k * self.n
+
+    @property
+    def total_macs(self) -> int:
+        return self.macs * self.repeat
+
+    @property
+    def weight_count(self) -> int:
+        return self.k * self.n
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weight_count * self.weight_bits // 8
+
+    @property
+    def activation_bytes(self) -> int:
+        return self.m * self.k * self.activation_bits // 8
+
+    @property
+    def output_bytes(self) -> int:
+        # Partial sums are wider, but outputs are re-quantized to the
+        # activation precision before leaving the accelerator.
+        return self.m * self.n * self.activation_bits // 8
+
+
+def layer_workload(spec: LayerSpec) -> GemmWorkload:
+    """Lower one layer spec to its GEMM workload."""
+    if isinstance(spec, Conv2dSpec):
+        return GemmWorkload(
+            name=spec.name,
+            m=spec.gemm_m,
+            k=spec.gemm_k,
+            n=spec.gemm_n,
+            repeat=spec.repeat,
+        )
+    if isinstance(spec, LinearSpec):
+        return GemmWorkload(
+            name=spec.name,
+            m=spec.gemm_m,
+            k=spec.gemm_k,
+            n=spec.gemm_n,
+            repeat=spec.repeat,
+        )
+    raise TypeError(f"unsupported layer spec type: {type(spec).__name__}")
+
+
+def model_workloads(model: ModelSpec) -> list[GemmWorkload]:
+    """Lower every weight layer of a model to its GEMM workload."""
+    return [layer_workload(layer) for layer in model.layers]

@@ -1,0 +1,50 @@
+"""Quantization substrate and compression baselines.
+
+* :mod:`repro.quant.ptq` — symmetric per-channel / per-tensor uniform PTQ,
+  the 8-bit baseline every method in the paper starts from, plus the naive
+  sub-8-bit PTQ baseline of Figure 11.
+* :mod:`repro.quant.bitflip` — BitWave-style sign-magnitude zero-column
+  pruning (the "previous bit-sparsity" baseline of Figures 1b, 6 and 11).
+* :mod:`repro.quant.microscaling` — MX shared-exponent block format
+  (Table III).
+* :mod:`repro.quant.noisyquant` — NoisyQuant noisy-bias PTQ (Table III).
+* :mod:`repro.quant.ant_datatype` — ANT adaptive datatype quantization
+  (Table II).
+* :mod:`repro.quant.olive` — Olive outlier-victim pair quantization
+  (Figure 17 / Table VI).
+"""
+
+from .ant_datatype import AntResult, ant_quantize, datatype_codebook
+from .bitflip import BitFlipResult, bitflip_group, bitflip_tensor
+from .microscaling import MicroscalingResult, microscaling_quantize
+from .noisyquant import NoisyQuantResult, noisyquant_quantize
+from .olive import OliveResult, olive_quantize
+from .ptq import (
+    QuantizedTensor,
+    dequantize,
+    optimal_clip_scale,
+    quantize_per_channel,
+    quantize_per_tensor,
+    requantize_to_lower_bits,
+)
+
+__all__ = [
+    "AntResult",
+    "ant_quantize",
+    "datatype_codebook",
+    "BitFlipResult",
+    "bitflip_group",
+    "bitflip_tensor",
+    "MicroscalingResult",
+    "microscaling_quantize",
+    "NoisyQuantResult",
+    "noisyquant_quantize",
+    "OliveResult",
+    "olive_quantize",
+    "QuantizedTensor",
+    "dequantize",
+    "optimal_clip_scale",
+    "quantize_per_channel",
+    "quantize_per_tensor",
+    "requantize_to_lower_bits",
+]

@@ -1,0 +1,105 @@
+"""Microscaling (MX) shared-exponent block format.
+
+The Microscaling format [36] groups ``block_size`` (32 in the paper's Table
+III comparison) elements and stores one shared 8-bit power-of-two exponent per
+block plus a low-precision signed integer mantissa per element.  The shared
+exponent is chosen from the largest-magnitude element of the block, which is
+exactly the weakness the BBS paper points at: small elements in a block that
+contains an outlier are crushed to zero because the mantissa has too few bits
+to represent them at the outlier's scale.
+
+We implement the MXINT-style variant used for the weight-compression
+comparison: ``element_bits``-wide two's-complement mantissas and an 8-bit
+shared exponent, giving an effective width of ``element_bits + 8/block_size``
+bits per weight (6.25 for the paper's MX6 configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MicroscalingResult", "microscaling_quantize"]
+
+
+@dataclass(frozen=True)
+class MicroscalingResult:
+    """Weights after Microscaling compression, expressed in the input domain."""
+
+    values: np.ndarray
+    element_bits: int
+    block_size: int
+    shared_exponents: np.ndarray
+    original: np.ndarray | None = None
+
+    def effective_bits(self) -> float:
+        """Average stored bits per weight (mantissa + amortized shared exponent)."""
+        return self.element_bits + 8.0 / self.block_size
+
+    def mse(self) -> float:
+        if self.original is None:
+            return 0.0
+        return float(np.mean((self.original - self.values) ** 2))
+
+
+def microscaling_quantize(
+    weights: np.ndarray,
+    element_bits: int = 6,
+    block_size: int = 32,
+    keep_original: bool = True,
+) -> MicroscalingResult:
+    """Quantize a weight matrix with an MXINT-style shared-exponent format.
+
+    Parameters
+    ----------
+    weights:
+        ``(channels, reduction)`` matrix.  Integer (already-quantized INT8)
+        and floating-point inputs are both accepted; the reconstruction is
+        returned in the same domain as the input so it can be compared
+        directly against the original.
+    element_bits:
+        Mantissa width including the sign bit (6 for the paper's comparison).
+    block_size:
+        Elements sharing one exponent (32 in the paper).
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError(f"expected (channels, reduction), got {weights.shape}")
+    if element_bits < 2:
+        raise ValueError("element_bits must be at least 2 (sign + 1 magnitude bit)")
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+
+    work = weights.astype(np.float64)
+    channels, reduction = work.shape
+    pad = (-reduction) % block_size
+    if pad:
+        work = np.pad(work, ((0, 0), (0, pad)))
+    blocks = work.reshape(channels, -1, block_size)
+
+    qmax = (1 << (element_bits - 1)) - 1
+    max_abs = np.max(np.abs(blocks), axis=2)  # (channels, num_blocks)
+    # Shared exponent: smallest power of two such that max_abs / 2**e fits in
+    # the mantissa range.  Blocks that are all-zero keep exponent 0.
+    with np.errstate(divide="ignore"):
+        exponents = np.ceil(np.log2(np.where(max_abs > 0, max_abs / qmax, 1.0)))
+    exponents = np.where(max_abs > 0, exponents, 0.0)
+    scale = np.power(2.0, exponents)[..., None]
+
+    mantissa = np.clip(np.round(blocks / scale), -(qmax + 1), qmax)
+    reconstructed = mantissa * scale
+    reconstructed = reconstructed.reshape(channels, -1)[:, :reduction]
+
+    if np.issubdtype(weights.dtype, np.integer):
+        lo = -(1 << 7)
+        hi = (1 << 7) - 1
+        reconstructed = np.clip(np.round(reconstructed), lo, hi).astype(np.int64)
+
+    return MicroscalingResult(
+        values=reconstructed,
+        element_bits=element_bits,
+        block_size=block_size,
+        shared_exponents=exponents,
+        original=weights.copy() if keep_original else None,
+    )

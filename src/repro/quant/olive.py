@@ -1,0 +1,129 @@
+"""Olive outlier-victim pair quantization.
+
+Olive [15] quantizes weights to 4 bits while handling outliers in hardware
+without any indexing metadata: whenever a value does not fit the 4-bit range
+it becomes an *outlier* and borrows the encoding slot of its immediate
+neighbour (the *victim*), which is forced to zero.  The outlier is then stored
+with an extended-range encoding across the pair of slots.  The paper compares
+BBS against Olive for Llama-3-8B weight compression (Figure 17) and compares
+the BitVert PE against the Olive PE (Table VI).
+
+Our implementation follows that scheme on a per-channel-scaled tensor:
+
+* values are scaled so the *non-outlier* bulk fits the ``bits``-wide range,
+* values outside the range are outliers; each outlier zeroes its paired
+  neighbour and is itself quantized with an extended power-of-two range
+  (Olive encodes outliers as 4-bit "abfloat" magnitudes),
+* if both values of a pair are outliers only the larger keeps extended range
+  (the other is clipped), which is Olive's documented behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OliveResult", "olive_quantize"]
+
+
+@dataclass(frozen=True)
+class OliveResult:
+    """Weights after Olive outlier-victim pair quantization."""
+
+    values: np.ndarray
+    bits: int
+    outlier_fraction: float
+    original: np.ndarray | None = None
+
+    def effective_bits(self) -> float:
+        return float(self.bits)
+
+    def mse(self) -> float:
+        if self.original is None:
+            return 0.0
+        return float(np.mean((self.original - self.values) ** 2))
+
+
+def _outlier_codebook(bits: int, normal_max: float) -> np.ndarray:
+    """Extended-range outlier magnitudes (power-of-two steps above the range).
+
+    Olive stores outliers as low-precision floating-point magnitudes ("abfloat")
+    whose range extends well past the normal grid; we model this with
+    ``2**bits`` power-of-two magnitudes starting right above ``normal_max``.
+    """
+    exponents = np.arange(1, (1 << bits) + 1, dtype=np.float64)
+    return normal_max * np.power(2.0, exponents / 2.0)
+
+
+def olive_quantize(
+    weights: np.ndarray,
+    bits: int = 4,
+    outlier_percentile: float = 99.0,
+    keep_original: bool = True,
+) -> OliveResult:
+    """Quantize a weight matrix with Olive's outlier-victim pair scheme.
+
+    Parameters
+    ----------
+    weights:
+        ``(channels, reduction)`` matrix; integer or floating point.  The
+        reconstruction is returned in the input domain.
+    bits:
+        Precision of normal values (4 in the paper's comparison).
+    outlier_percentile:
+        Percentile of the per-channel absolute values used as the normal-range
+        boundary; values above it become outliers.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError(f"expected (channels, reduction), got {weights.shape}")
+    if not 50.0 < outlier_percentile <= 100.0:
+        raise ValueError("outlier_percentile must be in (50, 100]")
+    work = weights.astype(np.float64)
+    channels, reduction = work.shape
+
+    qmax = (1 << (bits - 1)) - 1
+    reconstructed = np.empty_like(work)
+    total_outliers = 0
+
+    for channel_index in range(channels):
+        channel = work[channel_index]
+        abs_channel = np.abs(channel)
+        boundary = np.percentile(abs_channel, outlier_percentile) if channel.size else 0.0
+        if boundary == 0.0:
+            boundary = float(abs_channel.max()) if channel.size else 1.0
+        if boundary == 0.0:
+            reconstructed[channel_index] = channel
+            continue
+        scale = boundary / qmax
+
+        codes = np.round(channel / scale)
+        is_outlier = np.abs(codes) > qmax
+        normal = np.clip(codes, -qmax - 1, qmax) * scale
+
+        result = normal.copy()
+        outlier_codebook = _outlier_codebook(bits, boundary)
+        outlier_indices = np.flatnonzero(is_outlier)
+        total_outliers += outlier_indices.size
+        for index in outlier_indices:
+            partner = index + 1 if index % 2 == 0 else index - 1
+            magnitude = abs_channel[index]
+            snapped = outlier_codebook[np.argmin(np.abs(outlier_codebook - magnitude))]
+            snapped = min(snapped, magnitude + boundary)  # never overshoot wildly
+            result[index] = np.sign(channel[index]) * snapped
+            if 0 <= partner < reduction and not is_outlier[partner]:
+                # The victim's slot is consumed by the outlier encoding.
+                result[partner] = 0.0
+        reconstructed[channel_index] = result
+
+    if np.issubdtype(weights.dtype, np.integer):
+        reconstructed = np.clip(np.round(reconstructed), -(1 << 7), (1 << 7) - 1).astype(np.int64)
+
+    outlier_fraction = total_outliers / max(1, channels * reduction)
+    return OliveResult(
+        values=reconstructed,
+        bits=bits,
+        outlier_fraction=float(outlier_fraction),
+        original=weights.copy() if keep_original else None,
+    )

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+The heavy objects (synthetic model weights, trained MLP, accelerator sweeps)
+are session-scoped so the several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.model_zoo import get_model
+from repro.nn.synthetic import synthesize_model
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def fresh_rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def int8_matrix() -> np.ndarray:
+    """A Gaussian-ish INT8 weight matrix used across many unit tests."""
+    generator = np.random.default_rng(7)
+    values = np.clip(np.round(generator.normal(0.0, 24.0, size=(64, 256))), -128, 127)
+    return values.astype(np.int64)
+
+
+@pytest.fixture(scope="session")
+def small_resnet_weights():
+    """Small sampled synthetic weights for ResNet-50 (used by accelerator tests)."""
+    return synthesize_model(get_model("ResNet-50"), seed=0, max_channels=64, max_reduction=256)
+
+
+@pytest.fixture(scope="session")
+def small_vit_weights():
+    """Small sampled synthetic weights for ViT-Small."""
+    return synthesize_model(get_model("ViT-Small"), seed=0, max_channels=64, max_reduction=256)

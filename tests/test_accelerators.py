@@ -1,0 +1,270 @@
+"""Tests for the accelerator performance models (Figures 12-15 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    AntAccelerator,
+    ArrayConfig,
+    BitletAccelerator,
+    BitVertAccelerator,
+    BitWaveAccelerator,
+    GroupCycleStats,
+    PragmaticAccelerator,
+    SparTenAccelerator,
+    StripesAccelerator,
+    expected_wave_cycles,
+)
+from repro.core.global_pruning import CONSERVATIVE_PRESET, MODERATE_PRESET
+from repro.nn.model_zoo import get_model
+from repro.nn.workloads import layer_workload
+
+
+SMALL_ARRAY = ArrayConfig()
+
+
+@pytest.fixture(scope="module")
+def resnet_model():
+    return get_model("ResNet-50")
+
+
+@pytest.fixture(scope="module")
+def accelerator_results(resnet_model, small_resnet_weights):
+    """Run the whole line-up once on small ResNet-50 weights (module-scoped)."""
+    accelerators = {
+        "Stripes": StripesAccelerator(array=SMALL_ARRAY),
+        "Pragmatic": PragmaticAccelerator(array=SMALL_ARRAY),
+        "Bitlet": BitletAccelerator(array=SMALL_ARRAY),
+        "BitWave": BitWaveAccelerator(array=SMALL_ARRAY),
+        "SparTen": SparTenAccelerator(array=SMALL_ARRAY),
+        "ANT": AntAccelerator(array=SMALL_ARRAY),
+        "BitVert (cons)": BitVertAccelerator(preset=CONSERVATIVE_PRESET, array=SMALL_ARRAY),
+        "BitVert (mod)": BitVertAccelerator(preset=MODERATE_PRESET, array=SMALL_ARRAY),
+    }
+    return {
+        name: accel.run_model(resnet_model, small_resnet_weights)
+        for name, accel in accelerators.items()
+    }
+
+
+class TestArrayConfig:
+    def test_default_matches_paper(self):
+        array = ArrayConfig()
+        assert array.pe_rows == 16
+        assert array.pe_columns == 32
+        assert array.lanes_per_pe == 8
+        assert array.total_lanes == 4096
+        assert array.eight_bit_multiplier_equivalents == 512
+
+    def test_with_columns(self):
+        narrow = ArrayConfig().with_columns(4)
+        assert narrow.pe_columns == 4
+        assert narrow.pe_rows == 16
+
+
+class TestGroupCycleStats:
+    def test_minimal_cannot_exceed_actual(self):
+        with pytest.raises(ValueError):
+            GroupCycleStats(actual=np.array([2.0]), minimal=np.array([3.0]))
+
+    def test_partition_shape_checked(self):
+        with pytest.raises(ValueError):
+            GroupCycleStats(
+                actual=np.array([2.0, 2.0]),
+                minimal=np.array([1.0, 1.0]),
+                partition=np.array([0]),
+            )
+
+
+class TestExpectedWaveCycles:
+    def test_constant_distribution(self):
+        cycles = np.full(100, 5.0)
+        assert expected_wave_cycles(cycles, 32) == 5.0
+
+    def test_single_group(self):
+        assert expected_wave_cycles(np.array([3.0, 5.0]), 1) == 4.0
+
+    def test_grows_with_parallelism(self):
+        rng = np.random.default_rng(0)
+        cycles = rng.integers(4, 12, 1000).astype(float)
+        assert expected_wave_cycles(cycles, 32) > expected_wave_cycles(cycles, 4)
+
+    def test_bounded_by_max(self):
+        rng = np.random.default_rng(0)
+        cycles = rng.integers(4, 12, 1000).astype(float)
+        assert expected_wave_cycles(cycles, 32) <= cycles.max()
+
+    def test_empty(self):
+        assert expected_wave_cycles(np.array([]), 8) == 0.0
+
+
+class TestCycleModels:
+    def test_stripes_is_dense(self, small_resnet_weights):
+        stripes = StripesAccelerator(array=SMALL_ARRAY)
+        layer = small_resnet_weights["layer2.conv2"]
+        stats = stripes.group_cycle_stats(layer)
+        assert np.all(stats.actual == 16.0)
+
+    def test_skipping_schemes_never_slower_than_dense(self, small_resnet_weights):
+        layer = small_resnet_weights["layer2.conv2"]
+        dense_cycles = 16.0
+        for accel in (
+            PragmaticAccelerator(array=SMALL_ARRAY),
+            BitletAccelerator(array=SMALL_ARRAY),
+            BitWaveAccelerator(array=SMALL_ARRAY),
+            BitVertAccelerator(array=SMALL_ARRAY),
+        ):
+            stats = accel.group_cycle_stats(layer)
+            assert stats.actual.mean() <= dense_cycles
+            assert np.all(stats.minimal <= stats.actual)
+
+    def test_bitvert_cycles_bounded_by_stored_columns(self, small_resnet_weights):
+        layer = small_resnet_weights["layer2.conv2"]
+        accel = BitVertAccelerator(preset=MODERATE_PRESET, array=SMALL_ARRAY)
+        stats = accel.group_cycle_stats(layer)
+        # Pruned groups need 8 - 4 = 4 cycles, sensitive groups 8; never more.
+        assert np.all(stats.actual <= 8.0)
+        assert np.all(stats.actual >= 2.0)
+        assert stats.partition is not None
+
+    def test_bitvert_mod_faster_than_cons(self, small_resnet_weights):
+        layer = small_resnet_weights["layer2.conv2"]
+        cons = BitVertAccelerator(preset=CONSERVATIVE_PRESET, array=SMALL_ARRAY)
+        mod = BitVertAccelerator(preset=MODERATE_PRESET, array=SMALL_ARRAY)
+        assert (
+            mod.group_cycle_stats(layer).actual.mean()
+            < cons.group_cycle_stats(layer).actual.mean()
+        )
+
+    def test_ant_uniform_six_bit(self, small_resnet_weights):
+        layer = small_resnet_weights["layer2.conv2"]
+        stats = AntAccelerator(array=SMALL_ARRAY).group_cycle_stats(layer)
+        assert np.all(stats.actual == 12.0)
+
+    def test_sparten_tracks_activation_sparsity(self, small_resnet_weights):
+        layer = small_resnet_weights["layer2.conv2"]
+        dense_act = SparTenAccelerator(activation_sparsity=0.0, array=SMALL_ARRAY)
+        sparse_act = SparTenAccelerator(activation_sparsity=0.5, array=SMALL_ARRAY)
+        assert (
+            sparse_act.group_cycle_stats(layer).actual.mean()
+            < dense_act.group_cycle_stats(layer).actual.mean()
+        )
+
+
+class TestLayerPerformance:
+    def test_layer_run_produces_consistent_breakdown(self, small_resnet_weights):
+        accel = PragmaticAccelerator(array=SMALL_ARRAY)
+        spec = get_model("ResNet-50").layers[5]
+        perf = accel.run_layer(layer_workload(spec), small_resnet_weights[spec.name])
+        total = perf.useful_cycles + perf.intra_pe_stall_cycles + perf.inter_pe_stall_cycles
+        assert total == pytest.approx(perf.compute_cycles, rel=1e-6)
+        assert perf.total_cycles >= perf.compute_cycles
+        assert perf.total_energy_pj > 0
+
+    def test_missing_layer_weights_raise(self, resnet_model, small_resnet_weights):
+        accel = StripesAccelerator(array=SMALL_ARRAY)
+        partial = dict(list(small_resnet_weights.items())[:3])
+        with pytest.raises(KeyError):
+            accel.run_model(resnet_model, partial)
+
+
+class TestModelLevelOrderings:
+    """The qualitative results of Figures 12/13 on ResNet-50."""
+
+    def test_bitvert_is_fastest(self, accelerator_results):
+        stripes = accelerator_results["Stripes"].total_cycles
+        for name, result in accelerator_results.items():
+            if name.startswith("BitVert"):
+                assert result.total_cycles < 0.55 * stripes
+
+    def test_bitvert_moderate_speedup_range(self, accelerator_results):
+        speedup = accelerator_results["BitVert (mod)"].speedup_over(accelerator_results["Stripes"])
+        assert 2.0 < speedup < 3.6  # paper: ~2.5-3.0x on CNNs
+
+    def test_bitvert_beats_bitwave(self, accelerator_results):
+        assert (
+            accelerator_results["BitVert (mod)"].total_cycles
+            < accelerator_results["BitWave"].total_cycles
+        )
+        assert (
+            accelerator_results["BitVert (cons)"].total_cycles
+            < accelerator_results["BitWave"].total_cycles
+        )
+
+    def test_bitwave_beats_pragmatic_and_bitlet(self, accelerator_results):
+        assert (
+            accelerator_results["BitWave"].total_cycles
+            < accelerator_results["Pragmatic"].total_cycles
+        )
+        assert (
+            accelerator_results["BitWave"].total_cycles
+            < accelerator_results["Bitlet"].total_cycles
+        )
+
+    def test_every_skipping_design_beats_stripes(self, accelerator_results):
+        stripes = accelerator_results["Stripes"].total_cycles
+        for name in ("Pragmatic", "Bitlet", "BitWave", "ANT"):
+            assert accelerator_results[name].total_cycles <= stripes * 1.001
+
+    def test_sparten_has_worst_energy(self, accelerator_results):
+        sparten = accelerator_results["SparTen"].total_energy_pj
+        for name, result in accelerator_results.items():
+            if name != "SparTen":
+                assert result.total_energy_pj < sparten
+
+    def test_bitvert_saves_energy_vs_stripes(self, accelerator_results):
+        assert (
+            accelerator_results["BitVert (mod)"].total_energy_pj
+            < accelerator_results["Stripes"].total_energy_pj
+        )
+
+    def test_energy_components_sum(self, accelerator_results):
+        result = accelerator_results["BitVert (mod)"]
+        assert result.total_energy_pj == pytest.approx(
+            result.on_chip_energy_pj + result.off_chip_energy_pj, rel=1e-9
+        )
+
+    def test_cycle_breakdown_normalized(self, accelerator_results):
+        for result in accelerator_results.values():
+            breakdown = result.cycle_breakdown()
+            assert sum(breakdown.values()) == pytest.approx(1.0, rel=1e-6)
+
+    def test_bitvert_has_less_inter_pe_stall_than_pragmatic(self, accelerator_results):
+        bitvert = accelerator_results["BitVert (mod)"].cycle_breakdown()
+        pragmatic = accelerator_results["Pragmatic"].cycle_breakdown()
+        assert bitvert["inter_pe_stall"] < pragmatic["inter_pe_stall"]
+
+    def test_edp_positive(self, accelerator_results):
+        for result in accelerator_results.values():
+            assert result.energy_delay_product > 0
+
+
+class TestLoadBalanceScaling:
+    def test_pragmatic_speedup_drops_with_more_columns(self, resnet_model, small_resnet_weights):
+        # Figure 14: load imbalance grows with the number of PE columns for
+        # unstructured schemes, while BitVert stays nearly constant.
+        speedups = {}
+        for columns in (2, 32):
+            array = ArrayConfig().with_columns(columns)
+            stripes = StripesAccelerator(array=array).run_model(resnet_model, small_resnet_weights)
+            pragmatic = PragmaticAccelerator(array=array).run_model(
+                resnet_model, small_resnet_weights
+            )
+            speedups[columns] = pragmatic.speedup_over(stripes)
+        assert speedups[32] <= speedups[2] + 1e-9
+
+    def test_bitvert_speedup_stable_with_columns(self, resnet_model, small_resnet_weights):
+        speedups = {}
+        for columns in (2, 32):
+            array = ArrayConfig().with_columns(columns)
+            stripes = StripesAccelerator(array=array).run_model(resnet_model, small_resnet_weights)
+            bitvert = BitVertAccelerator(preset=MODERATE_PRESET, array=array).run_model(
+                resnet_model, small_resnet_weights
+            )
+            speedups[columns] = bitvert.speedup_over(stripes)
+        # The structured sparsity keeps the compute-side speedup flat; the
+        # small residual drop comes from layers turning memory-bound once the
+        # compute is 16x wider, not from load imbalance.
+        assert speedups[32] >= 0.8 * speedups[2]

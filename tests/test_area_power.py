@@ -1,0 +1,146 @@
+"""Tests for the component-level PE area/power model (Tables IV, V, VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerators.area_power import (
+    DEFAULT_GATE_COSTS,
+    GateCosts,
+    PAPER_TABLE_IV,
+    PAPER_TABLE_V,
+    PE_BUILDERS,
+    bitlet_pe,
+    bitvert_pe,
+    bitwave_pe,
+    olive_pe,
+    pragmatic_pe,
+    stripes_pe,
+)
+
+
+class TestGateCosts:
+    def test_mux_scales_with_inputs_and_width(self):
+        costs = DEFAULT_GATE_COSTS
+        assert costs.mux(8, 8) > costs.mux(4, 8) > costs.mux(2, 8)
+        assert costs.mux(4, 16) == pytest.approx(2 * costs.mux(4, 8))
+
+    def test_mux_single_input_is_free(self):
+        assert DEFAULT_GATE_COSTS.mux(1, 8) == 0.0
+
+    def test_mux_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            DEFAULT_GATE_COSTS.mux(0, 8)
+
+    def test_adder_tree_grows_with_terms(self):
+        costs = DEFAULT_GATE_COSTS
+        assert costs.adder_tree(16, 8) > costs.adder_tree(8, 8) > costs.adder_tree(2, 8)
+
+    def test_barrel_shifter_stages(self):
+        costs = DEFAULT_GATE_COSTS
+        assert costs.barrel_shifter(8, 8) == pytest.approx(3 * costs.shift_stage * 8)
+
+
+class TestPaperTableV:
+    """The model must reproduce the area/power relationships of Table V."""
+
+    def test_all_builders_positive(self):
+        for builder in PE_BUILDERS.values():
+            design = builder()
+            assert design.area_um2 > 0
+            assert design.power_mw > 0
+
+    def test_area_ordering_matches_paper(self):
+        areas = {name: PE_BUILDERS[name]().area_um2 for name in PAPER_TABLE_V}
+        assert areas["Stripes"] < areas["BitWave"]
+        assert areas["BitWave"] < areas["BitVert"]
+        assert areas["BitVert"] <= areas["Pragmatic"] * 1.01
+        assert areas["Pragmatic"] < areas["Bitlet"]
+
+    def test_bitlet_is_about_3x_stripes(self):
+        ratio = bitlet_pe().area_um2 / stripes_pe().area_um2
+        assert 2.6 < ratio < 3.6  # paper: 3.13x
+
+    def test_pragmatic_ratio(self):
+        ratio = pragmatic_pe().area_um2 / stripes_pe().area_um2
+        assert 1.5 < ratio < 2.0  # paper: 1.73x
+
+    def test_absolute_areas_within_tolerance(self):
+        for name, reference in PAPER_TABLE_V.items():
+            area = PE_BUILDERS[name]().area_um2
+            assert area == pytest.approx(reference["total_um2"], rel=0.35)
+
+    def test_power_within_tolerance(self):
+        for name, reference in PAPER_TABLE_V.items():
+            power = PE_BUILDERS[name]().power_mw
+            assert power == pytest.approx(reference["power_mw"], rel=0.25)
+
+    def test_bitvert_power_lower_than_pragmatic_despite_similar_area(self):
+        assert bitvert_pe().power_mw < pragmatic_pe().power_mw
+
+    def test_energy_per_cycle(self):
+        design = stripes_pe()
+        assert design.energy_per_cycle_pj(0.8) == pytest.approx(design.power_mw / 0.8)
+
+    def test_breakdown_sums_to_total(self):
+        design = bitvert_pe()
+        assert sum(design.breakdown().values()) == pytest.approx(design.area_um2)
+
+
+class TestPaperTableIV:
+    """BitVert PE design-space relationships."""
+
+    def test_optimization_always_helps(self):
+        for sub_group in (16, 8, 4):
+            assert (
+                bitvert_pe(sub_group=sub_group, optimized=True).area_um2
+                < bitvert_pe(sub_group=sub_group, optimized=False).area_um2
+            )
+
+    def test_sub_group_8_optimized_is_the_minimum(self):
+        areas = {
+            (sub, opt): bitvert_pe(sub_group=sub, optimized=opt).area_um2
+            for sub in (16, 8, 4)
+            for opt in (False, True)
+        }
+        assert min(areas, key=areas.get) == (8, True)
+
+    def test_sub_group_16_unoptimized_is_the_maximum(self):
+        areas = {
+            (sub, opt): bitvert_pe(sub_group=sub, optimized=opt).area_um2
+            for sub in (16, 8, 4)
+            for opt in (False, True)
+        }
+        assert max(areas, key=areas.get) == (16, False)
+
+    def test_sub_group_4_pays_for_extra_subtractors(self):
+        assert (
+            bitvert_pe(sub_group=4, optimized=True).area_um2
+            > bitvert_pe(sub_group=8, optimized=True).area_um2
+        )
+
+    def test_paper_reference_is_recorded_for_all_points(self):
+        assert set(PAPER_TABLE_IV) == {(s, o) for s in (16, 8, 4) for o in (False, True)}
+
+    def test_invalid_sub_group(self):
+        with pytest.raises(ValueError):
+            bitvert_pe(sub_group=5)
+
+
+class TestOliveAndBitWave:
+    def test_olive_pe_much_smaller_than_bitvert(self):
+        assert olive_pe().area_um2 < 0.6 * bitvert_pe().area_um2
+
+    def test_bitvert_perf_per_area_beats_olive(self):
+        # Table VI: 4x throughput at ~2.5x area -> >1x perf/area.
+        bitvert = bitvert_pe()
+        olive = olive_pe()
+        perf_per_area_ratio = (4.0 / bitvert.area_um2) / (1.0 / olive.area_um2)
+        assert perf_per_area_ratio > 1.3
+
+    def test_bitwave_pays_for_complementers(self):
+        assert bitwave_pe().area_um2 > stripes_pe().area_um2
+
+    def test_custom_gate_costs_scale_results(self):
+        expensive = GateCosts(full_adder=5.0, flip_flop=8.0)
+        assert stripes_pe(expensive).area_um2 > stripes_pe().area_um2

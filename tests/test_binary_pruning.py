@@ -1,0 +1,176 @@
+"""Tests for tensor-level binary pruning and the BBS dot-product identities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_pruning import (
+    bbs_dot_product,
+    compressed_dot_product,
+    prune_group,
+    prune_tensor,
+)
+from repro.core.encoding import PruningStrategy
+
+
+class TestBbsDotProduct:
+    def test_matches_reference(self, fresh_rng):
+        for _ in range(50):
+            weights = fresh_rng.integers(-128, 128, 16)
+            activations = fresh_rng.integers(-128, 128, 16)
+            assert bbs_dot_product(weights, activations) == int(weights @ activations)
+
+    def test_all_zero_weights(self):
+        assert bbs_dot_product(np.zeros(8, dtype=np.int64), np.arange(8)) == 0
+
+    def test_all_ones_weights(self):
+        activations = np.arange(8)
+        weights = np.full(8, -1)
+        assert bbs_dot_product(weights, activations) == int(weights @ activations)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bbs_dot_product(np.zeros(4, dtype=np.int64), np.zeros(5, dtype=np.int64))
+
+    @given(
+        st.lists(st.integers(-128, 127), min_size=1, max_size=32),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_identity_property(self, weight_values, seed):
+        # Equations 1-3: the bi-directional bit-serial formulation is exact.
+        weights = np.array(weight_values)
+        activations = np.random.default_rng(seed).integers(-128, 128, weights.size)
+        assert bbs_dot_product(weights, activations) == int(weights @ activations)
+
+
+class TestCompressedDotProduct:
+    @pytest.mark.parametrize(
+        "strategy", [PruningStrategy.ROUNDED_AVERAGE, PruningStrategy.ZERO_POINT_SHIFT]
+    )
+    @pytest.mark.parametrize("columns", [0, 2, 4, 6])
+    def test_matches_decoded_weights(self, strategy, columns, fresh_rng):
+        for _ in range(10):
+            weights = fresh_rng.integers(-128, 128, 32)
+            activations = fresh_rng.integers(-128, 128, 32)
+            pruned = prune_group(weights, columns, strategy)
+            assert compressed_dot_product(pruned, activations) == int(
+                pruned.values @ activations
+            )
+
+    def test_shape_mismatch(self, fresh_rng):
+        pruned = prune_group(fresh_rng.integers(-10, 10, 16), 2)
+        with pytest.raises(ValueError):
+            compressed_dot_product(pruned, np.zeros(8, dtype=np.int64))
+
+
+class TestPruneGroup:
+    def test_dispatch_rounded_average(self, fresh_rng):
+        pruned = prune_group(fresh_rng.integers(-20, 20, 16), 2, "rounded_average")
+        assert pruned.strategy is PruningStrategy.ROUNDED_AVERAGE
+
+    def test_dispatch_zero_point(self, fresh_rng):
+        pruned = prune_group(fresh_rng.integers(-20, 20, 16), 2, "zero_point_shift")
+        assert pruned.strategy is PruningStrategy.ZERO_POINT_SHIFT
+
+    def test_rejects_none_strategy(self, fresh_rng):
+        with pytest.raises(ValueError):
+            prune_group(fresh_rng.integers(-20, 20, 16), 2, "none")
+
+
+class TestPruneTensor:
+    def test_effective_bits_moderate(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        assert pruned.effective_bits() == pytest.approx(4.25)
+        assert pruned.compression_ratio() == pytest.approx(8 / 4.25, rel=1e-6)
+
+    def test_effective_bits_conservative(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 2, PruningStrategy.ROUNDED_AVERAGE)
+        assert pruned.effective_bits() == pytest.approx(6.25)
+
+    def test_shape_preserved(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 2)
+        assert pruned.values.shape == int8_matrix.shape
+
+    def test_zero_columns_is_identity(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 0)
+        assert np.array_equal(pruned.values, int8_matrix)
+        assert pruned.mse() == 0.0
+
+    def test_values_stay_in_range(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        assert pruned.values.min() >= -128
+        assert pruned.values.max() <= 127
+
+    def test_sensitive_channels_untouched(self, int8_matrix):
+        sensitive = np.zeros(int8_matrix.shape[0], dtype=bool)
+        sensitive[:10] = True
+        pruned = prune_tensor(
+            int8_matrix, 4, PruningStrategy.ZERO_POINT_SHIFT, sensitive_channels=sensitive
+        )
+        assert np.array_equal(pruned.values[:10], int8_matrix[:10])
+        assert not np.array_equal(pruned.values[10:], int8_matrix[10:])
+
+    def test_sensitive_channels_increase_effective_bits(self, int8_matrix):
+        sensitive = np.zeros(int8_matrix.shape[0], dtype=bool)
+        sensitive[: int8_matrix.shape[0] // 2] = True
+        mixed = prune_tensor(int8_matrix, 4, sensitive_channels=sensitive)
+        uniform = prune_tensor(int8_matrix, 4)
+        assert mixed.effective_bits() > uniform.effective_bits()
+
+    def test_mse_increases_with_columns(self, int8_matrix):
+        previous = -1.0
+        for columns in (1, 2, 4, 6):
+            pruned = prune_tensor(int8_matrix, columns, PruningStrategy.ZERO_POINT_SHIFT)
+            assert pruned.mse() >= previous
+            previous = pruned.mse()
+
+    def test_kl_divergence_reported(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        assert pruned.kl_divergence() >= 0.0
+
+    def test_no_original_kept(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 4, keep_original=False)
+        assert pruned.original is None
+        assert pruned.mse() == 0.0
+        assert pruned.kl_divergence() == 0.0
+
+    def test_non_multiple_reduction_is_padded(self, fresh_rng):
+        weights = fresh_rng.integers(-128, 128, (8, 45))
+        pruned = prune_tensor(weights, 2, group_size=32)
+        assert pruned.values.shape == weights.shape
+
+    def test_rejects_float_weights(self):
+        with pytest.raises(TypeError):
+            prune_tensor(np.zeros((4, 32)), 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            prune_tensor(np.zeros(32, dtype=np.int64), 2)
+
+    def test_rejects_bad_sensitive_shape(self, int8_matrix):
+        with pytest.raises(ValueError):
+            prune_tensor(int8_matrix, 2, sensitive_channels=np.zeros(3, dtype=bool))
+
+    def test_storage_accounting_consistency(self, int8_matrix):
+        pruned = prune_tensor(int8_matrix, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        # channels * groups * (stored columns * group + metadata)
+        channels, reduction = int8_matrix.shape
+        groups = reduction // 32
+        expected = channels * groups * (32 * 4 + 8)
+        assert pruned.storage_bits() == expected
+        assert pruned.dense_storage_bits() == channels * groups * 32 * 8
+
+    @given(st.integers(0, 6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_pruned_column_metadata_consistent_property(self, columns, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-128, 128, (4, 64))
+        pruned = prune_tensor(weights, columns, PruningStrategy.ZERO_POINT_SHIFT)
+        total = pruned.num_redundant + pruned.num_sparse
+        assert np.all(total <= columns)
+        if columns:
+            assert np.all(total == columns)

@@ -1,0 +1,214 @@
+"""Tests for the BitVert hardware components: scheduler, PE, channel reordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerators.bitvert.pe import BitVertPE
+from repro.accelerators.bitvert.reorder import reorder_channels, unshuffle_output
+from repro.accelerators.bitvert.scheduler import (
+    column_index_sequence,
+    schedule_column,
+)
+from repro.core.binary_pruning import prune_group
+from repro.core.encoding import PruningStrategy, encode_group, unpruned_group
+
+
+class TestScheduler:
+    def test_all_zero_column(self):
+        schedule = schedule_column(np.zeros(8, dtype=np.int64))
+        assert not schedule.invert
+        assert schedule.effectual_count == 0
+        assert not any(schedule.valid)
+
+    def test_all_one_column_is_inverted(self):
+        schedule = schedule_column(np.ones(8, dtype=np.int64))
+        assert schedule.invert
+        assert schedule.effectual_count == 0
+
+    def test_minority_ones_selected_directly(self):
+        column = np.array([0, 1, 0, 0, 1, 0, 0, 0])
+        schedule = schedule_column(column)
+        assert not schedule.invert
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        assert selected == {1, 4}
+
+    def test_majority_ones_select_zero_positions(self):
+        column = np.array([1, 1, 1, 0, 1, 1, 0, 1])
+        schedule = schedule_column(column)
+        assert schedule.invert
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        assert selected == {3, 6}
+
+    def test_exactly_half_not_inverted(self):
+        column = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+        schedule = schedule_column(column)
+        assert not schedule.invert
+        assert schedule.effectual_count == 4
+
+    def test_worst_case_window(self):
+        # The paper's worst case: effectual bits at positions {4,5,6,7}.
+        column = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        schedule = schedule_column(column)
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        assert selected == {4, 5, 6, 7}
+
+    def test_rejects_odd_sub_group(self):
+        with pytest.raises(ValueError):
+            schedule_column(np.zeros(7, dtype=np.int64))
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    @settings(max_examples=256, deadline=None)
+    def test_sliding_encoders_cover_all_effectual_bits_property(self, bits):
+        # The key structural claim behind the compact 5:1 muxes: for any bit
+        # pattern, the four sliding priority encoders select exactly the
+        # minority-symbol positions.
+        column = np.array(bits)
+        schedule = schedule_column(column)
+        target_symbol = 0 if schedule.invert else 1
+        expected = set(np.flatnonzero(column == target_symbol)) if target_symbol in column else set()
+        if len(expected) > 4:
+            expected = set()  # cannot happen: minority is <= 4 by definition
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        assert selected == expected
+        # Each lane's selection stays inside its sliding window.
+        for lane, (index, valid) in enumerate(zip(schedule.selections, schedule.valid)):
+            if valid:
+                assert lane <= index <= lane + 4
+
+
+class TestColumnIndexSequence:
+    def test_no_redundant_columns(self):
+        assert column_index_sequence(8, 0, 8) == [7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_with_redundant_columns(self):
+        assert column_index_sequence(8, 2, 4) == [5, 4, 3, 2]
+
+    def test_rejects_impossible_request(self):
+        with pytest.raises(ValueError):
+            column_index_sequence(8, 3, 6)
+        with pytest.raises(ValueError):
+            column_index_sequence(8, -1, 4)
+
+
+class TestBitVertPE:
+    @pytest.fixture(scope="class")
+    def pe(self) -> BitVertPE:
+        return BitVertPE()
+
+    @pytest.mark.parametrize(
+        "strategy", [PruningStrategy.ROUNDED_AVERAGE, PruningStrategy.ZERO_POINT_SHIFT]
+    )
+    @pytest.mark.parametrize("columns", [0, 2, 4, 6])
+    def test_compressed_dot_product_exact(self, pe, strategy, columns):
+        rng = np.random.default_rng(columns * 10 + (1 if strategy is PruningStrategy.ROUNDED_AVERAGE else 2))
+        for _ in range(10):
+            weights = rng.integers(-128, 128, 16)
+            activations = rng.integers(-128, 128, 16)
+            pruned = prune_group(weights, columns, strategy)
+            encoded = encode_group(pruned)
+            result = pe.compute_group(encoded, activations)
+            assert result.dot_product == int(pruned.values @ activations)
+
+    def test_cycle_count_matches_stored_columns(self, pe, fresh_rng):
+        weights = fresh_rng.integers(-128, 128, 16)
+        for columns in (0, 2, 4, 6):
+            pruned = prune_group(weights, columns, PruningStrategy.ZERO_POINT_SHIFT)
+            encoded = encode_group(pruned)
+            result = pe.compute_group(encoded, fresh_rng.integers(-128, 128, 16))
+            assert result.cycles == max(2, 8 - columns)
+
+    def test_effectual_ops_at_most_half(self, pe, fresh_rng):
+        for _ in range(10):
+            weights = fresh_rng.integers(-128, 128, 16)
+            encoded = encode_group(unpruned_group(weights))
+            result = pe.compute_group(encoded, fresh_rng.integers(-128, 128, 16))
+            # 8 columns x 16 weights = 128 bit positions, at most half effectual.
+            assert result.effectual_bit_ops <= 64
+            assert result.effectual_bit_ops + result.skipped_bit_ops == 128
+
+    def test_uncompressed_group_exact(self, pe, fresh_rng):
+        for _ in range(10):
+            weights = fresh_rng.integers(-128, 128, 16)
+            activations = fresh_rng.integers(-128, 128, 16)
+            result = pe.compute_uncompressed_group(weights, activations)
+            assert result.dot_product == int(weights @ activations)
+            assert result.cycles == 8
+
+    def test_activation_count_mismatch(self, pe, fresh_rng):
+        encoded = encode_group(unpruned_group(fresh_rng.integers(-10, 10, 16)))
+        with pytest.raises(ValueError):
+            pe.compute_group(encoded, fresh_rng.integers(-10, 10, 8))
+
+    def test_invalid_sub_group_configuration(self):
+        with pytest.raises(ValueError):
+            BitVertPE(group_size=16, sub_group=5)
+
+    @given(st.integers(0, 6), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_pe_exactness_property(self, columns, seed):
+        rng = np.random.default_rng(seed)
+        pe = BitVertPE()
+        weights = rng.integers(-128, 128, 16)
+        activations = rng.integers(-128, 128, 16)
+        pruned = prune_group(weights, columns, PruningStrategy.ZERO_POINT_SHIFT)
+        result = pe.compute_group(encode_group(pruned), activations)
+        assert result.dot_product == int(pruned.values @ activations)
+
+
+class TestChannelReordering:
+    def test_permutation_groups_sensitive_first(self, fresh_rng):
+        weights = fresh_rng.normal(size=(8, 4))
+        mask = np.array([0, 1, 0, 1, 0, 0, 0, 1], dtype=bool)
+        reordered, reordering = reorder_channels(weights, mask)
+        assert reordering.sensitive_count == 3
+        assert np.array_equal(reordered[:3], weights[mask])
+
+    def test_unshuffle_restores_layer_output(self, fresh_rng):
+        weights = fresh_rng.normal(size=(12, 16))
+        mask = fresh_rng.random(12) < 0.3
+        inputs = fresh_rng.normal(size=(5, 16))
+        reordered, reordering = reorder_channels(weights, mask)
+        restored = unshuffle_output(inputs @ reordered.T, reordering)
+        assert np.allclose(restored, inputs @ weights.T)
+
+    def test_residual_addition_stays_correct(self, fresh_rng):
+        # The Figure 9(b) scenario: two weight tensors with different channel
+        # orders process the same input and their outputs are added.
+        inputs = fresh_rng.normal(size=(4, 16))
+        weights_a = fresh_rng.normal(size=(8, 16))
+        weights_b = fresh_rng.normal(size=(8, 16))
+        mask_a = np.array([1, 0, 0, 1, 0, 0, 0, 0], dtype=bool)
+        mask_b = np.array([0, 0, 1, 0, 0, 1, 0, 0], dtype=bool)
+        reordered_a, order_a = reorder_channels(weights_a, mask_a)
+        reordered_b, order_b = reorder_channels(weights_b, mask_b)
+        out_a = unshuffle_output(inputs @ reordered_a.T, order_a)
+        out_b = unshuffle_output(inputs @ reordered_b.T, order_b)
+        assert np.allclose(out_a + out_b, inputs @ weights_a.T + inputs @ weights_b.T)
+
+    def test_inverse_permutation(self, fresh_rng):
+        weights = fresh_rng.normal(size=(6, 3))
+        mask = np.array([0, 1, 0, 0, 1, 0], dtype=bool)
+        _, reordering = reorder_channels(weights, mask)
+        inverse = reordering.inverse()
+        assert np.array_equal(reordering.permutation[inverse], np.arange(6))
+
+    def test_index_buffer_size(self, fresh_rng):
+        weights = fresh_rng.normal(size=(512, 4))
+        mask = np.zeros(512, dtype=bool)
+        _, reordering = reorder_channels(weights, mask)
+        # 512 channels x 9 bits = 576 bytes; tiny compared to the weights.
+        assert reordering.index_buffer_bytes() <= 1024
+
+    def test_shape_validation(self, fresh_rng):
+        weights = fresh_rng.normal(size=(4, 4))
+        with pytest.raises(ValueError):
+            reorder_channels(weights, np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError):
+            reorder_channels(fresh_rng.normal(size=(4,)), np.zeros(4, dtype=bool))
+        _, reordering = reorder_channels(weights, np.zeros(4, dtype=bool))
+        with pytest.raises(ValueError):
+            unshuffle_output(np.zeros((2, 5)), reordering)

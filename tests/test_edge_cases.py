@@ -1,0 +1,135 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    AntAccelerator,
+    BitVertAccelerator,
+    BitWaveAccelerator,
+    SparTenAccelerator,
+    StripesAccelerator,
+)
+from repro.core import (
+    MODERATE_PRESET,
+    PruningStrategy,
+    encode_group,
+    prune_group,
+    prune_tensor,
+)
+from repro.core.zero_point_shift import zero_point_shift_group
+from repro.nn.model_zoo import get_model
+from repro.nn.workloads import layer_workload
+
+
+class TestExtremeWeightGroups:
+    """Binary pruning on degenerate weight distributions."""
+
+    def test_all_minimum_code(self):
+        group = np.full(32, -128)
+        pruned = zero_point_shift_group(group, 4)
+        assert pruned.values.min() >= -128
+        assert np.array_equal(
+            prune_group(group, 4, PruningStrategy.ZERO_POINT_SHIFT).values, pruned.values
+        )
+        encode_group(pruned)  # must not raise
+
+    def test_all_maximum_code(self):
+        group = np.full(32, 127)
+        pruned = zero_point_shift_group(group, 4)
+        assert pruned.values.max() <= 127
+        assert float(np.mean((pruned.values - group) ** 2)) <= 64.0
+
+    def test_all_zero_group(self):
+        group = np.zeros(32, dtype=np.int64)
+        for strategy in (PruningStrategy.ROUNDED_AVERAGE, PruningStrategy.ZERO_POINT_SHIFT):
+            pruned = prune_group(group, 6, strategy)
+            assert np.array_equal(pruned.values, group)
+
+    def test_alternating_extremes(self):
+        group = np.tile([-128, 127], 16)
+        pruned = zero_point_shift_group(group, 4)
+        assert pruned.values.min() >= -128 and pruned.values.max() <= 127
+        encode_group(pruned)
+
+    def test_single_outlier_in_small_group(self):
+        group = np.array([1, 0, -2, 1, 0, 1, -1, 127])
+        pruned = zero_point_shift_group(group, 4)
+        # The outlier dominates the range; the small values must not blow up.
+        assert np.max(np.abs(pruned.values[:7] - group[:7])) <= 16
+
+    def test_tensor_with_single_channel_and_group(self):
+        weights = np.arange(-16, 16).reshape(1, 32)
+        pruned = prune_tensor(weights, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        assert pruned.values.shape == (1, 32)
+        assert pruned.effective_bits() == pytest.approx(4.25)
+
+    def test_tensor_narrower_than_group(self):
+        weights = np.arange(-6, 6).reshape(2, 6)
+        pruned = prune_tensor(weights, 2, group_size=32)
+        assert pruned.values.shape == (2, 6)
+
+
+class TestAcceleratorEdgeCases:
+    def test_tiny_layer_runs_on_every_accelerator(self, small_resnet_weights):
+        # conv1 (3x7x7 reduction = 147, 64 channels) exercises padding and
+        # partially filled PE columns.
+        model = get_model("ResNet-50")
+        spec = model.layers[0]
+        workload = layer_workload(spec)
+        layer = small_resnet_weights[spec.name]
+        for accel in (
+            StripesAccelerator(),
+            BitWaveAccelerator(),
+            SparTenAccelerator(),
+            AntAccelerator(),
+            BitVertAccelerator(preset=MODERATE_PRESET),
+        ):
+            perf = accel.run_layer(workload, layer)
+            assert perf.compute_cycles > 0
+            assert perf.total_energy_pj > 0
+
+    def test_bitwave_compressed_bytes_below_dense(self, small_resnet_weights):
+        model = get_model("ResNet-50")
+        spec = model.layers[5]
+        workload = layer_workload(spec)
+        accel = BitWaveAccelerator(pruned_columns=3)
+        stored = accel.stored_weight_bytes(workload, small_resnet_weights[spec.name])
+        assert stored < workload.weight_bytes
+
+    def test_bitvert_stored_bytes_between_bounds(self, small_resnet_weights):
+        model = get_model("ResNet-50")
+        spec = model.layers[5]
+        workload = layer_workload(spec)
+        accel = BitVertAccelerator(preset=MODERATE_PRESET)
+        stored = accel.stored_weight_bytes(workload, small_resnet_weights[spec.name])
+        # Between the fully-pruned bound (4.25/8) and dense.
+        assert 0.5 * workload.weight_bytes < stored < workload.weight_bytes
+
+    def test_ant_activation_precision(self, small_resnet_weights):
+        model = get_model("ResNet-50")
+        workload = layer_workload(model.layers[5])
+        assert AntAccelerator().activation_bits(workload) == 6
+        assert StripesAccelerator().activation_bits(workload) == 8
+
+    def test_sparten_bitmask_overhead(self, small_resnet_weights):
+        model = get_model("ResNet-50")
+        spec = model.layers[5]
+        workload = layer_workload(spec)
+        stored = SparTenAccelerator().stored_weight_bytes(
+            workload, small_resnet_weights[spec.name]
+        )
+        # Dense weights (low value sparsity) plus a 12.5 % bitmask overhead.
+        assert stored > workload.weight_bytes
+        assert stored < 1.2 * workload.weight_bytes
+
+    def test_bitvert_compress_model_caches(self, small_vit_weights):
+        model = get_model("ViT-Small")
+        accel = BitVertAccelerator(preset=MODERATE_PRESET)
+        compressed = accel.compress_model(model, small_vit_weights)
+        assert set(compressed) == set(small_vit_weights)
+        # A second run reuses the cache (same objects).
+        again = accel._layer_compression(small_vit_weights["attn.qkv"])
+        assert again is compressed["attn.qkv"]

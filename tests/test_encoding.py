@@ -1,0 +1,167 @@
+"""Tests for the BBS compression encoding (encode/decode, metadata, sizes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    CONSTANT_FIELD_BITS,
+    EncodedGroup,
+    MAX_PRUNED_COLUMNS,
+    MAX_REDUNDANT_COLUMNS,
+    METADATA_BITS,
+    PrunedGroup,
+    PruningStrategy,
+    decode_group,
+    effective_bits_per_weight,
+    encode_group,
+    group_storage_bits,
+    natural_redundant_columns,
+    unpruned_group,
+)
+from repro.core.rounded_average import rounded_average_group
+from repro.core.zero_point_shift import zero_point_shift_group
+
+
+class TestConstants:
+    def test_metadata_is_one_byte(self):
+        assert METADATA_BITS == 8
+
+    def test_field_split(self):
+        assert MAX_REDUNDANT_COLUMNS == 3
+        assert CONSTANT_FIELD_BITS == 6
+        assert MAX_PRUNED_COLUMNS == 6
+
+
+class TestStorageBits:
+    def test_uncompressed_group_has_no_metadata(self):
+        assert group_storage_bits(32, 0) == 32 * 8
+
+    def test_paper_moderate_setting(self):
+        assert group_storage_bits(32, 4) == 32 * 4 + 8
+        assert effective_bits_per_weight(32, 4) == pytest.approx(4.25)
+
+    def test_paper_conservative_setting(self):
+        assert effective_bits_per_weight(32, 2) == pytest.approx(6.25)
+
+    def test_invalid_pruned_count(self):
+        with pytest.raises(ValueError):
+            group_storage_bits(32, 9)
+
+
+class TestUnprunedGroup:
+    def test_roundtrip(self):
+        values = np.array([1, -2, 3, -4])
+        group = unpruned_group(values)
+        encoded = encode_group(group)
+        assert np.array_equal(decode_group(encoded), values)
+        assert encoded.stored_columns == 8
+
+    def test_natural_redundancy(self):
+        assert natural_redundant_columns(np.array([1, -2, 3, -4])) == 3
+        assert natural_redundant_columns(np.array([100, -2])) == 0
+
+
+class TestEncodeDecodeRoundtrip:
+    @pytest.mark.parametrize("strategy", [PruningStrategy.ROUNDED_AVERAGE, PruningStrategy.ZERO_POINT_SHIFT])
+    @pytest.mark.parametrize("columns", [0, 1, 2, 3, 4, 5, 6])
+    def test_roundtrip_all_settings(self, strategy, columns, fresh_rng):
+        for _ in range(5):
+            group = fresh_rng.integers(-128, 128, 32)
+            if strategy is PruningStrategy.ROUNDED_AVERAGE:
+                pruned = rounded_average_group(group, columns)
+            else:
+                pruned = zero_point_shift_group(group, columns)
+            encoded = encode_group(pruned)
+            assert np.array_equal(decode_group(encoded), pruned.values)
+            assert encoded.stored_columns == 8 - pruned.num_pruned
+
+    def test_storage_bits_match_pruned_columns(self, fresh_rng):
+        group = fresh_rng.integers(-128, 128, 32)
+        pruned = zero_point_shift_group(group, 4)
+        encoded = encode_group(pruned)
+        assert encoded.storage_bits() == 32 * (8 - pruned.num_pruned) + METADATA_BITS
+        assert pruned.storage_bits() == encoded.storage_bits()
+
+    @given(
+        st.lists(st.integers(-128, 127), min_size=8, max_size=8),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, values, columns):
+        group = np.array(values)
+        for pruned in (
+            rounded_average_group(group, columns),
+            zero_point_shift_group(group, columns),
+        ):
+            encoded = encode_group(pruned)
+            assert np.array_equal(decode_group(encoded), pruned.values)
+
+
+class TestMetadataWord:
+    def test_layout(self, fresh_rng):
+        group = fresh_rng.integers(-40, 40, 32)
+        pruned = zero_point_shift_group(group, 4)
+        encoded = encode_group(pruned)
+        word = encoded.metadata_word()
+        assert 0 <= word < 256
+        assert word >> CONSTANT_FIELD_BITS == pruned.num_redundant
+        constant_field = word & ((1 << CONSTANT_FIELD_BITS) - 1)
+        # The constant field is the 6-bit two's complement of the constant.
+        expected = pruned.constant & ((1 << CONSTANT_FIELD_BITS) - 1)
+        assert constant_field == expected
+
+
+class TestValidation:
+    def test_rejects_too_many_pruned_columns(self):
+        values = np.zeros(8, dtype=np.int64)
+        bad = PrunedGroup(values, num_redundant=3, num_sparse=5, constant=0,
+                          strategy=PruningStrategy.ROUNDED_AVERAGE)
+        with pytest.raises(ValueError):
+            encode_group(bad)
+
+    def test_rejects_too_many_redundant(self):
+        values = np.zeros(8, dtype=np.int64)
+        bad = PrunedGroup(values, num_redundant=4, num_sparse=0, constant=0,
+                          strategy=PruningStrategy.ROUNDED_AVERAGE)
+        with pytest.raises(ValueError):
+            encode_group(bad)
+
+    def test_rejects_values_that_do_not_fit_reduced_width(self):
+        values = np.array([120, -120])
+        bad = PrunedGroup(values, num_redundant=2, num_sparse=0, constant=0,
+                          strategy=PruningStrategy.NONE)
+        with pytest.raises(ValueError):
+            encode_group(bad)
+
+    def test_rejects_inconsistent_low_columns(self):
+        # Claims 2 sparse zero columns but the values have low bits set.
+        values = np.array([3, 5, 7, 9])
+        bad = PrunedGroup(values, num_redundant=0, num_sparse=2, constant=0,
+                          strategy=PruningStrategy.ZERO_POINT_SHIFT)
+        with pytest.raises(ValueError):
+            encode_group(bad)
+
+    def test_rejects_sparse_columns_without_strategy(self):
+        values = np.array([4, 8, 12, 16])
+        bad = PrunedGroup(values, num_redundant=0, num_sparse=2, constant=0,
+                          strategy=PruningStrategy.NONE)
+        with pytest.raises(ValueError):
+            encode_group(bad)
+
+    def test_decode_rejects_wrong_column_count(self, fresh_rng):
+        group = fresh_rng.integers(-40, 40, 16)
+        pruned = rounded_average_group(group, 2)
+        encoded = encode_group(pruned)
+        corrupted = EncodedGroup(
+            stored_planes=encoded.stored_planes[:, :-1],
+            num_redundant=encoded.num_redundant,
+            num_sparse=encoded.num_sparse,
+            constant=encoded.constant,
+            strategy=encoded.strategy,
+        )
+        with pytest.raises(ValueError):
+            decode_group(corrupted)

@@ -1,0 +1,155 @@
+"""Tests for the numpy DNN kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def naive_conv2d(inputs, weight, stride=1, padding=0):
+    """Reference convolution written with explicit loops."""
+    batch, _, height, width = inputs.shape
+    out_c, in_c, kernel, _ = weight.shape
+    if padding:
+        inputs = np.pad(inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    output = np.zeros((batch, out_c, out_h, out_w))
+    for b in range(batch):
+        for oc in range(out_c):
+            for y in range(out_h):
+                for x in range(out_w):
+                    patch = inputs[b, :, y * stride : y * stride + kernel, x * stride : x * stride + kernel]
+                    output[b, oc, y, x] = np.sum(patch * weight[oc])
+    return output
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, stride, padding, fresh_rng):
+        inputs = fresh_rng.normal(size=(2, 3, 10, 10))
+        weight = fresh_rng.normal(size=(4, 3, 3, 3))
+        fast = F.conv2d(inputs, weight, stride=stride, padding=padding)
+        slow = naive_conv2d(inputs, weight, stride=stride, padding=padding)
+        assert np.allclose(fast, slow)
+
+    def test_bias(self, fresh_rng):
+        inputs = fresh_rng.normal(size=(1, 2, 6, 6))
+        weight = fresh_rng.normal(size=(3, 2, 3, 3))
+        bias = np.array([1.0, -1.0, 0.5])
+        with_bias = F.conv2d(inputs, weight, bias, padding=1)
+        without = F.conv2d(inputs, weight, padding=1)
+        assert np.allclose(with_bias - without, bias[None, :, None, None])
+
+    def test_1x1_conv_is_linear(self, fresh_rng):
+        inputs = fresh_rng.normal(size=(1, 8, 4, 4))
+        weight = fresh_rng.normal(size=(16, 8, 1, 1))
+        conv = F.conv2d(inputs, weight)
+        flat = inputs.reshape(1, 8, -1).transpose(0, 2, 1)
+        linear = (flat @ weight.reshape(16, 8).T).transpose(0, 2, 1).reshape(1, 16, 4, 4)
+        assert np.allclose(conv, linear)
+
+    def test_rejects_non_square_kernel(self, fresh_rng):
+        with pytest.raises(ValueError):
+            F.conv2d(fresh_rng.normal(size=(1, 2, 6, 6)), fresh_rng.normal(size=(3, 2, 3, 2)))
+
+    def test_rejects_channel_mismatch(self, fresh_rng):
+        with pytest.raises(ValueError):
+            F.conv2d(fresh_rng.normal(size=(1, 2, 6, 6)), fresh_rng.normal(size=(3, 4, 3, 3)))
+
+    def test_rejects_oversized_kernel(self, fresh_rng):
+        with pytest.raises(ValueError):
+            F.im2col(fresh_rng.normal(size=(1, 1, 3, 3)), kernel=5)
+
+
+class TestIm2Col:
+    def test_shapes(self, fresh_rng):
+        inputs = fresh_rng.normal(size=(2, 3, 8, 8))
+        columns, out_h, out_w = F.im2col(inputs, 3, stride=1, padding=1)
+        assert (out_h, out_w) == (8, 8)
+        assert columns.shape == (2, 64, 27)
+
+    def test_col2im_adjoint_of_im2col_on_ones(self):
+        # Folding the unfolded all-ones tensor counts how many patches cover
+        # each pixel.
+        inputs = np.ones((1, 1, 4, 4))
+        columns, _, _ = F.im2col(inputs, 3, stride=1, padding=0)
+        folded = F.col2im(np.ones_like(columns), (1, 1, 4, 4), 3, stride=1, padding=0)
+        assert folded[0, 0, 1, 1] == 4.0  # centre pixels covered by 4 patches
+        assert folded[0, 0, 0, 0] == 1.0
+
+
+class TestActivationsAndNorms:
+    def test_relu(self):
+        assert np.array_equal(F.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_gelu_limits(self):
+        assert F.gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert F.gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+        assert F.gelu(np.array([0.0]))[0] == 0.0
+
+    def test_softmax_rows_sum_to_one(self, fresh_rng):
+        logits = fresh_rng.normal(size=(5, 10)) * 20
+        probabilities = F.softmax(logits)
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+        assert probabilities.min() >= 0
+
+    def test_log_softmax_consistent(self, fresh_rng):
+        logits = fresh_rng.normal(size=(3, 7))
+        assert np.allclose(np.exp(F.log_softmax(logits)), F.softmax(logits))
+
+    def test_layer_norm_statistics(self, fresh_rng):
+        inputs = fresh_rng.normal(loc=3.0, scale=2.0, size=(4, 64))
+        normalized = F.layer_norm(inputs)
+        assert np.allclose(normalized.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(normalized.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_affine(self, fresh_rng):
+        inputs = fresh_rng.normal(size=(2, 8))
+        gamma, beta = np.full(8, 2.0), np.full(8, 1.0)
+        assert np.allclose(
+            F.layer_norm(inputs, gamma, beta), F.layer_norm(inputs) * 2.0 + 1.0
+        )
+
+    def test_batch_norm_identity_with_running_stats(self, fresh_rng):
+        inputs = fresh_rng.normal(size=(2, 3, 4, 4))
+        mean = np.zeros(3)
+        var = np.ones(3)
+        assert np.allclose(F.batch_norm(inputs, mean, var), inputs, atol=1e-4)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert F.cross_entropy(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestPooling:
+    def test_max_pool(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = F.max_pool2d(inputs, 2)
+        assert np.array_equal(pooled[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        inputs = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = F.avg_pool2d(inputs, 2)
+        assert np.array_equal(pooled[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_stride_defaults_to_kernel(self, fresh_rng):
+        inputs = fresh_rng.normal(size=(1, 2, 8, 8))
+        assert F.max_pool2d(inputs, 2).shape == (1, 2, 4, 4)
+
+
+class TestAttention:
+    def test_output_shape(self, fresh_rng):
+        q = fresh_rng.normal(size=(2, 4, 8, 16))
+        k = fresh_rng.normal(size=(2, 4, 8, 16))
+        v = fresh_rng.normal(size=(2, 4, 8, 16))
+        assert F.scaled_dot_product_attention(q, k, v).shape == (2, 4, 8, 16)
+
+    def test_uniform_keys_average_values(self):
+        q = np.zeros((1, 2, 4))
+        k = np.zeros((1, 2, 4))
+        v = np.array([[[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]]])
+        out = F.scaled_dot_product_attention(q, k, v)
+        assert np.allclose(out, 0.5 * (v[:, :1] + v[:, 1:2]))

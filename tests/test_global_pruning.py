@@ -1,0 +1,142 @@
+"""Tests for hardware-aware global binary pruning (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import PruningStrategy
+from repro.core.global_pruning import (
+    CONSERVATIVE_PRESET,
+    MODERATE_PRESET,
+    PruningPreset,
+    global_binary_prune,
+    select_sensitive_channels,
+)
+
+
+@pytest.fixture(scope="module")
+def two_layer_model():
+    rng = np.random.default_rng(11)
+    layers = {
+        "conv1": np.clip(np.round(rng.normal(0, 20, (64, 128))), -128, 127).astype(np.int64),
+        "conv2": np.clip(np.round(rng.normal(0, 30, (96, 256))), -128, 127).astype(np.int64),
+    }
+    scores = {name: np.abs(values).max(axis=1).astype(float) for name, values in layers.items()}
+    return layers, scores
+
+
+class TestPresets:
+    def test_conservative(self):
+        assert CONSERVATIVE_PRESET.beta == 0.10
+        assert CONSERVATIVE_PRESET.num_columns == 2
+        assert CONSERVATIVE_PRESET.strategy is PruningStrategy.ROUNDED_AVERAGE
+
+    def test_moderate(self):
+        assert MODERATE_PRESET.beta == 0.20
+        assert MODERATE_PRESET.num_columns == 4
+        assert MODERATE_PRESET.strategy is PruningStrategy.ZERO_POINT_SHIFT
+
+    def test_describe(self):
+        text = MODERATE_PRESET.describe()
+        assert "20%" in text and "zero_point_shift" in text
+
+
+class TestSensitiveChannelSelection:
+    def test_beta_zero_selects_nothing(self, two_layer_model):
+        _, scores = two_layer_model
+        masks = select_sensitive_channels(scores, beta=0.0)
+        assert all(mask.sum() == 0 for mask in masks.values())
+
+    def test_beta_one_selects_everything(self, two_layer_model):
+        _, scores = two_layer_model
+        masks = select_sensitive_channels(scores, beta=1.0)
+        assert all(mask.all() for mask in masks.values())
+
+    def test_counts_are_multiples_of_ch(self, two_layer_model):
+        _, scores = two_layer_model
+        masks = select_sensitive_channels(scores, beta=0.2, channel_parallelism=32)
+        for name, mask in masks.items():
+            count = int(mask.sum())
+            assert count % 32 == 0 or count == scores[name].size
+
+    def test_global_fraction_at_least_beta(self, two_layer_model):
+        _, scores = two_layer_model
+        beta = 0.2
+        masks = select_sensitive_channels(scores, beta=beta, channel_parallelism=32)
+        total = sum(score.size for score in scores.values())
+        selected = sum(int(mask.sum()) for mask in masks.values())
+        assert selected >= beta * total
+
+    def test_highest_scores_selected(self, two_layer_model):
+        _, scores = two_layer_model
+        masks = select_sensitive_channels(scores, beta=0.2, channel_parallelism=1)
+        for name, mask in masks.items():
+            if mask.any() and not mask.all():
+                selected_min = scores[name][mask].min()
+                unselected_max = scores[name][~mask].max()
+                assert selected_min >= unselected_max
+
+    def test_invalid_beta(self, two_layer_model):
+        _, scores = two_layer_model
+        with pytest.raises(ValueError):
+            select_sensitive_channels(scores, beta=1.5)
+
+    def test_invalid_ch(self, two_layer_model):
+        _, scores = two_layer_model
+        with pytest.raises(ValueError):
+            select_sensitive_channels(scores, beta=0.1, channel_parallelism=0)
+
+    def test_empty_input(self):
+        assert select_sensitive_channels({}, beta=0.1) == {}
+
+
+class TestGlobalBinaryPrune:
+    def test_moderate_preset_end_to_end(self, two_layer_model):
+        layers, scores = two_layer_model
+        result = global_binary_prune(layers, scores, MODERATE_PRESET)
+        assert set(result.pruned_layers) == set(layers)
+        assert result.compression_ratio() > 1.3
+        assert 4.0 < result.effective_bits() < 8.0
+        assert result.sensitive_fraction() >= MODERATE_PRESET.beta
+
+    def test_conservative_compresses_less_but_more_accurately(self, two_layer_model):
+        layers, scores = two_layer_model
+        conservative = global_binary_prune(layers, scores, CONSERVATIVE_PRESET)
+        moderate = global_binary_prune(layers, scores, MODERATE_PRESET)
+        assert conservative.effective_bits() > moderate.effective_bits()
+        assert conservative.mean_mse() <= moderate.mean_mse()
+        assert conservative.compression_ratio() < moderate.compression_ratio()
+
+    def test_sensitive_channels_unchanged(self, two_layer_model):
+        layers, scores = two_layer_model
+        result = global_binary_prune(layers, scores, MODERATE_PRESET)
+        for name, pruned in result.pruned_layers.items():
+            mask = result.sensitive_masks[name]
+            assert np.array_equal(pruned.values[mask], layers[name][mask])
+
+    def test_missing_scores_raise(self, two_layer_model):
+        layers, scores = two_layer_model
+        with pytest.raises(ValueError):
+            global_binary_prune(layers, {"conv1": scores["conv1"]}, MODERATE_PRESET)
+
+    def test_mismatched_score_length_raises(self, two_layer_model):
+        layers, scores = two_layer_model
+        bad = dict(scores)
+        bad["conv1"] = bad["conv1"][:-1]
+        with pytest.raises(ValueError):
+            global_binary_prune(layers, bad, MODERATE_PRESET)
+
+    def test_custom_preset(self, two_layer_model):
+        layers, scores = two_layer_model
+        preset = PruningPreset("custom", 0.0, 6, PruningStrategy.ZERO_POINT_SHIFT)
+        result = global_binary_prune(layers, scores, preset)
+        assert result.effective_bits() == pytest.approx((2 * 32 + 8) / 32)
+
+    def test_memory_footprint_reduction_matches_paper_ballpark(self, two_layer_model):
+        # Paper: conservative -> 1.29x, moderate -> 1.66x average compression.
+        layers, scores = two_layer_model
+        conservative = global_binary_prune(layers, scores, CONSERVATIVE_PRESET)
+        moderate = global_binary_prune(layers, scores, MODERATE_PRESET)
+        assert 1.1 < conservative.compression_ratio() < 1.35
+        assert 1.4 < moderate.compression_ratio() < 1.95

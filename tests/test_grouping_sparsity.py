@@ -1,0 +1,170 @@
+"""Tests for weight grouping and the sparsity statistics of Figure 3."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import group_weights, ungroup_weights
+from repro.core.sparsity import (
+    bbs_effectual_bits_per_vector,
+    bbs_sparsity,
+    bit_sparsity_sign_magnitude,
+    bit_sparsity_twos_complement,
+    effectual_bits_per_vector,
+    sparsity_report,
+    value_sparsity,
+)
+
+
+class TestGrouping:
+    def test_exact_division(self, int8_matrix):
+        grouped = group_weights(int8_matrix, 32)
+        assert grouped.groups.shape == (64, 8, 32)
+        assert grouped.pad == 0
+
+    def test_padding(self):
+        weights = np.arange(2 * 50).reshape(2, 50)
+        grouped = group_weights(weights, 32)
+        assert grouped.pad == 14
+        assert grouped.groups.shape == (2, 2, 32)
+        # Padding is zeros.
+        assert grouped.groups[0, 1, -14:].sum() == 0
+
+    def test_roundtrip(self, int8_matrix):
+        grouped = group_weights(int8_matrix, 32)
+        assert np.array_equal(ungroup_weights(grouped), int8_matrix)
+
+    def test_roundtrip_with_padding(self):
+        weights = np.arange(3 * 45).reshape(3, 45)
+        grouped = group_weights(weights, 16)
+        assert np.array_equal(ungroup_weights(grouped), weights)
+
+    def test_flat_groups(self, int8_matrix):
+        grouped = group_weights(int8_matrix, 32)
+        assert grouped.flat_groups().shape == (64 * 8, 32)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            group_weights(np.arange(10), 4)
+
+    def test_rejects_bad_group_size(self, int8_matrix):
+        with pytest.raises(ValueError):
+            group_weights(int8_matrix, 0)
+
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 70),
+        st.sampled_from([4, 8, 16, 32]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, channels, reduction, group_size):
+        rng = np.random.default_rng(channels * 100 + reduction)
+        weights = rng.integers(-128, 128, size=(channels, reduction))
+        grouped = group_weights(weights, group_size)
+        assert np.array_equal(ungroup_weights(grouped), weights)
+
+
+class TestValueSparsity:
+    def test_all_zero(self):
+        assert value_sparsity(np.zeros(10)) == 1.0
+
+    def test_no_zero(self):
+        assert value_sparsity(np.ones(10)) == 0.0
+
+    def test_half(self):
+        assert value_sparsity(np.array([0, 1, 0, 2])) == 0.5
+
+    def test_empty(self):
+        assert value_sparsity(np.array([])) == 0.0
+
+    def test_int8_dnn_weights_have_low_value_sparsity(self, int8_matrix):
+        # Figure 3: value sparsity of 8-bit quantized DNNs is below 5 %.
+        assert value_sparsity(int8_matrix) < 0.10
+
+
+class TestBitSparsity:
+    def test_zero_tensor_twos_complement(self):
+        assert bit_sparsity_twos_complement(np.zeros(8, dtype=np.int64)) == 1.0
+
+    def test_minus_one_tensor(self):
+        assert bit_sparsity_twos_complement(np.full(8, -1)) == 0.0
+
+    def test_gaussian_weights_about_half(self, int8_matrix):
+        sparsity = bit_sparsity_twos_complement(int8_matrix)
+        assert 0.4 < sparsity < 0.6
+
+    def test_sign_magnitude_higher_than_twos_complement(self, int8_matrix):
+        assert bit_sparsity_sign_magnitude(int8_matrix) > bit_sparsity_twos_complement(
+            int8_matrix
+        )
+
+    def test_sign_magnitude_handles_minimum_code(self):
+        # -128 is clipped rather than raising.
+        assert 0.0 <= bit_sparsity_sign_magnitude(np.array([-128, 0, 1])) <= 1.0
+
+
+class TestBbsSparsity:
+    def test_at_least_half_for_any_tensor(self, int8_matrix):
+        assert bbs_sparsity(int8_matrix) >= 0.5
+
+    def test_all_ones_tensor_is_fully_sparse_bidirectionally(self):
+        assert bbs_sparsity(np.full(64, -1)) == 1.0
+
+    def test_zero_tensor(self):
+        assert bbs_sparsity(np.zeros(64, dtype=np.int64)) == 1.0
+
+    def test_higher_than_twos_complement(self, int8_matrix):
+        assert bbs_sparsity(int8_matrix) >= bit_sparsity_twos_complement(int8_matrix)
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_bbs_sparsity_at_least_half_property(self, values):
+        # The central BBS theorem: any bit vector exhibits >= 50 % sparsity.
+        assert bbs_sparsity(np.array(values)) >= 0.5
+
+    @given(
+        st.lists(st.integers(-128, 127), min_size=1, max_size=100),
+        st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_effectual_bits_at_most_half_property(self, values, vector_size):
+        effectual = bbs_effectual_bits_per_vector(
+            np.array(values), vector_size=vector_size
+        )
+        assert np.all(effectual <= vector_size // 2)
+
+    def test_effectual_bits_leq_plain_ones(self, int8_matrix):
+        ones = effectual_bits_per_vector(int8_matrix)
+        bbs = bbs_effectual_bits_per_vector(int8_matrix)
+        assert np.all(bbs <= ones)
+
+    def test_effectual_bits_sign_magnitude_mode(self, int8_matrix):
+        sm = effectual_bits_per_vector(int8_matrix, representation="sign_magnitude")
+        tc = effectual_bits_per_vector(int8_matrix, representation="twos_complement")
+        assert sm.sum() < tc.sum()
+
+    def test_effectual_bits_unknown_mode(self, int8_matrix):
+        with pytest.raises(ValueError):
+            effectual_bits_per_vector(int8_matrix, representation="gray")
+
+
+class TestSparsityReport:
+    def test_report_fields_ordering(self, int8_matrix):
+        report = sparsity_report(int8_matrix)
+        # The qualitative shape of Figure 3.
+        assert report.value < 0.1
+        assert 0.4 < report.bit_twos_complement < 0.6
+        assert report.bit_sign_magnitude > report.bit_twos_complement
+        assert report.bbs >= 0.5
+
+    def test_as_dict(self, int8_matrix):
+        report = sparsity_report(int8_matrix)
+        assert set(report.as_dict()) == {
+            "value",
+            "bit_twos_complement",
+            "bit_sign_magnitude",
+            "bbs",
+        }

@@ -1,0 +1,134 @@
+"""Tests for the SRAM/DRAM models and the tiling/traffic analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.dram import DEFAULT_DRAM, DramModel
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.sram import (
+    DEFAULT_ACTIVATION_BUFFER,
+    DEFAULT_WEIGHT_BUFFER,
+    SramBuffer,
+    buffer_fit_fraction,
+)
+from repro.nn.workloads import GemmWorkload
+
+
+class TestSram:
+    def test_default_buffers_are_256kb(self):
+        assert DEFAULT_ACTIVATION_BUFFER.capacity_bytes == 256 * 1024
+        assert DEFAULT_WEIGHT_BUFFER.capacity_bytes == 256 * 1024
+
+    def test_energy_grows_with_capacity(self):
+        small = SramBuffer("small", 32 * 1024)
+        large = SramBuffer("large", 512 * 1024)
+        assert large.read_energy_per_byte_pj() > small.read_energy_per_byte_pj()
+
+    def test_write_costs_more_than_read(self):
+        buffer = DEFAULT_WEIGHT_BUFFER
+        assert buffer.write_energy_per_byte_pj() > buffer.read_energy_per_byte_pj()
+
+    def test_access_energy_linear_in_bytes(self):
+        buffer = DEFAULT_WEIGHT_BUFFER
+        assert buffer.access_energy_pj(2000) == pytest.approx(2 * buffer.access_energy_pj(1000))
+
+    def test_access_energy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_WEIGHT_BUFFER.access_energy_pj(-1)
+
+    def test_area_positive_and_monotone(self):
+        assert SramBuffer("a", 64 * 1024).area_mm2() < SramBuffer("b", 512 * 1024).area_mm2()
+
+    def test_scaled_copy(self):
+        scaled = DEFAULT_WEIGHT_BUFFER.scaled(64 * 1024)
+        assert scaled.capacity_bytes == 64 * 1024
+        assert scaled.name == DEFAULT_WEIGHT_BUFFER.name
+
+    def test_fit_fraction(self):
+        buffer = SramBuffer("b", 1024)
+        assert buffer_fit_fraction(buffer, 512) == 1.0
+        assert buffer_fit_fraction(buffer, 2048) == 0.5
+        assert buffer_fit_fraction(buffer, 0) == 1.0
+
+    def test_reasonable_absolute_energy(self):
+        # A 256 KB SRAM read should cost on the order of 1 pJ/byte at 28 nm.
+        assert 0.5 < DEFAULT_WEIGHT_BUFFER.read_energy_per_byte_pj() < 3.0
+
+
+class TestDram:
+    def test_energy_per_byte(self):
+        assert DEFAULT_DRAM.access_energy_pj(100) == pytest.approx(100 * DEFAULT_DRAM.energy_per_byte_pj)
+
+    def test_dram_much_more_expensive_than_sram(self):
+        assert DEFAULT_DRAM.energy_per_byte_pj > 20 * DEFAULT_WEIGHT_BUFFER.read_energy_per_byte_pj()
+
+    def test_transfer_cycles(self):
+        dram = DramModel(bandwidth_gb_per_s=12.8)
+        # 12.8 GB/s at 0.8 GHz = 16 bytes per cycle.
+        assert dram.transfer_cycles(1600, clock_ghz=0.8) == pytest.approx(100.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            DEFAULT_DRAM.access_energy_pj(-5)
+        with pytest.raises(ValueError):
+            DEFAULT_DRAM.transfer_cycles(-5, 0.8)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            DEFAULT_DRAM.transfer_cycles(100, 0.0)
+
+
+class TestMemorySystem:
+    @pytest.fixture()
+    def system(self) -> MemorySystem:
+        return MemorySystem()
+
+    def test_small_layer_fetched_once(self, system):
+        workload = GemmWorkload("small", m=196, k=1024, n=64)
+        traffic = system.layer_traffic(workload)
+        assert traffic.dram_weight_bytes == workload.weight_bytes
+        assert traffic.dram_activation_bytes == workload.activation_bytes
+
+    def test_compressed_weights_reduce_traffic(self, system):
+        workload = GemmWorkload("fc", m=197, k=768, n=3072)
+        dense = system.layer_traffic(workload)
+        compressed = system.layer_traffic(workload, stored_weight_bytes=workload.weight_bytes / 2)
+        assert compressed.dram_weight_bytes < dense.dram_weight_bytes
+        assert compressed.dram_total_bytes < dense.dram_total_bytes
+
+    def test_huge_layer_incurs_refetch(self, system):
+        # Neither the 4 MB weights nor the 4 MB activations fit in 256 KB.
+        workload = GemmWorkload("huge", m=4096, k=1024, n=4096)
+        traffic = system.layer_traffic(workload)
+        assert traffic.dram_total_bytes > workload.weight_bytes + workload.activation_bytes
+
+    def test_metadata_charged(self, system):
+        workload = GemmWorkload("fc", m=10, k=512, n=128)
+        base = system.layer_traffic(workload)
+        with_meta = system.layer_traffic(workload, metadata_bytes=4096)
+        assert with_meta.dram_weight_bytes == base.dram_weight_bytes + 4096
+
+    def test_lower_activation_precision_reduces_traffic(self, system):
+        workload = GemmWorkload("fc", m=512, k=1024, n=1024)
+        int8 = system.layer_traffic(workload)
+        int6 = system.layer_traffic(workload, activation_bits=6)
+        assert int6.dram_activation_bytes < int8.dram_activation_bytes
+
+    def test_energy_split(self, system):
+        workload = GemmWorkload("fc", m=197, k=768, n=768)
+        traffic = system.layer_traffic(workload)
+        dram_energy, sram_energy = system.traffic_energy_pj(traffic)
+        assert dram_energy > 0 and sram_energy > 0
+        assert dram_energy > sram_energy  # DRAM dominates per byte
+
+    def test_dram_cycles_positive(self, system):
+        workload = GemmWorkload("fc", m=197, k=768, n=768)
+        traffic = system.layer_traffic(workload)
+        assert system.dram_cycles(traffic) > 0
+
+    def test_traffic_scaling(self, system):
+        workload = GemmWorkload("fc", m=16, k=256, n=256)
+        traffic = system.layer_traffic(workload)
+        doubled = traffic.scaled(2.0)
+        assert doubled.dram_total_bytes == pytest.approx(2 * traffic.dram_total_bytes)

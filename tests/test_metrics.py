@@ -1,0 +1,135 @@
+"""Tests for the MSE / KL-divergence / effective-bit metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    cosine_similarity,
+    effective_bits,
+    kl_divergence,
+    mse,
+    normalized_kl,
+    rmse,
+    sqnr_db,
+)
+
+
+class TestMse:
+    def test_identical_is_zero(self, int8_matrix):
+        assert mse(int8_matrix, int8_matrix) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.array([0, 0]), np.array([1, 3])) == pytest.approx(5.0)
+
+    def test_rmse(self):
+        assert rmse(np.array([0, 0]), np.array([3, 4])) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_is_zero(self):
+        assert mse(np.array([]), np.array([])) == 0.0
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative(self, values):
+        array = np.array(values)
+        shifted = array + 1
+        assert mse(array, shifted) >= 0.0
+
+
+class TestKlDivergence:
+    def test_identical_distributions_near_zero(self, int8_matrix):
+        assert kl_divergence(int8_matrix, int8_matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_collapsed_levels_increase_divergence(self, int8_matrix):
+        coarse = (int8_matrix // 8) * 8
+        very_coarse = (int8_matrix // 32) * 32
+        assert kl_divergence(int8_matrix, coarse) < kl_divergence(int8_matrix, very_coarse)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([]), np.array([]))
+
+    def test_constant_tensor(self):
+        assert kl_divergence(np.zeros(10), np.zeros(10)) == 0.0
+
+    def test_nonnegative(self, int8_matrix):
+        noisy = np.clip(int8_matrix + 3, -128, 127)
+        assert kl_divergence(int8_matrix, noisy) >= 0.0
+
+    def test_float_inputs_use_default_bins(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=1000)
+        b = a + 0.01
+        assert kl_divergence(a, b) >= 0.0
+
+    def test_explicit_bins(self, int8_matrix):
+        value = kl_divergence(int8_matrix, int8_matrix, bins=64)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNormalizedKl:
+    def test_max_normalization(self):
+        normalized = normalized_kl({"a": 2.0, "b": 1.0, "c": 0.5})
+        assert normalized["a"] == 1.0
+        assert normalized["b"] == 0.5
+
+    def test_reference(self):
+        normalized = normalized_kl({"a": 2.0, "b": 1.0}, reference="b")
+        assert normalized["a"] == 2.0
+
+    def test_empty(self):
+        assert normalized_kl({}) == {}
+
+    def test_all_zero(self):
+        assert normalized_kl({"a": 0.0, "b": 0.0}) == {"a": 0.0, "b": 0.0}
+
+
+class TestEffectiveBits:
+    def test_paper_moderate_setting(self):
+        # 4 pruned columns, 8-bit metadata, group 32 -> 4.25 effective bits.
+        assert effective_bits(4, 8, 32) == pytest.approx(4.25)
+
+    def test_paper_conservative_setting(self):
+        assert effective_bits(6, 8, 32) == pytest.approx(6.25)
+
+    def test_no_metadata(self):
+        assert effective_bits(8) == 8.0
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            effective_bits(4, 8, 0)
+
+
+class TestCosineAndSqnr:
+    def test_cosine_identical(self, int8_matrix):
+        assert cosine_similarity(int8_matrix, int8_matrix) == pytest.approx(1.0)
+
+    def test_cosine_opposite(self):
+        a = np.array([1.0, 2.0])
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+
+    def test_cosine_zero_vectors(self):
+        assert cosine_similarity(np.zeros(4), np.zeros(4)) == 1.0
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_cosine_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.zeros(3), np.zeros(4))
+
+    def test_sqnr_infinite_when_exact(self, int8_matrix):
+        assert sqnr_db(int8_matrix, int8_matrix) == float("inf")
+
+    def test_sqnr_decreases_with_noise(self, int8_matrix):
+        small = np.clip(int8_matrix + 1, -128, 127)
+        large = np.clip(int8_matrix + 8, -128, 127)
+        assert sqnr_db(int8_matrix, small) > sqnr_db(int8_matrix, large)
+
+    def test_sqnr_zero_signal(self):
+        assert sqnr_db(np.zeros(4), np.ones(4)) == float("-inf")

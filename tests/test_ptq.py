@@ -1,0 +1,135 @@
+"""Tests for the PTQ substrate (per-channel/per-tensor quantization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.ptq import (
+    dequantize,
+    optimal_clip_scale,
+    quantize_per_channel,
+    quantize_per_tensor,
+    requantize_to_lower_bits,
+)
+
+
+@pytest.fixture(scope="module")
+def float_weights():
+    rng = np.random.default_rng(3)
+    weights = rng.normal(0, 0.02, (32, 256))
+    weights[:4] *= 6.0  # outlier channels
+    return weights
+
+
+class TestPerChannelQuantization:
+    def test_codes_in_range(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        assert quantized.values.min() >= -128
+        assert quantized.values.max() <= 127
+
+    def test_each_channel_uses_full_range(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        per_channel_max = np.abs(quantized.values).max(axis=1)
+        assert np.all(per_channel_max == 127)
+
+    def test_reconstruction_error_small(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        reconstructed = dequantize(quantized)
+        relative = np.abs(reconstructed - float_weights).max() / np.abs(float_weights).max()
+        assert relative < 0.01
+
+    def test_per_channel_better_than_per_tensor_with_outliers(self, float_weights):
+        per_channel = quantize_per_channel(float_weights, 8)
+        per_tensor = quantize_per_tensor(float_weights, 8)
+        error_channel = np.mean((dequantize(per_channel) - float_weights) ** 2)
+        error_tensor = np.mean((dequantize(per_tensor) - float_weights) ** 2)
+        assert error_channel < error_tensor
+
+    def test_scales_track_outlier_channels(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        assert quantized.scales[:4].min() > quantized.scales[4:].max()
+
+    def test_calibrated_not_worse_at_low_bits(self, float_weights):
+        plain = quantize_per_channel(float_weights, 4)
+        calibrated = quantize_per_channel(float_weights, 4, calibrate=True)
+        error_plain = np.mean((dequantize(plain) - float_weights) ** 2)
+        error_calibrated = np.mean((dequantize(calibrated) - float_weights) ** 2)
+        assert error_calibrated <= error_plain * 1.0000001
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            quantize_per_channel(np.zeros(8))
+
+    def test_rejects_tiny_bits(self, float_weights):
+        with pytest.raises(ValueError):
+            quantize_per_channel(float_weights, 1)
+
+    def test_zero_channel(self):
+        weights = np.zeros((2, 16))
+        quantized = quantize_per_channel(weights, 8)
+        assert np.all(quantized.values == 0)
+        assert np.all(quantized.scales == 1.0)
+
+    def test_effective_bits(self, float_weights):
+        assert quantize_per_channel(float_weights, 8).effective_bits() == 8.0
+
+
+class TestOptimalClipScale:
+    def test_zero_channel(self):
+        assert optimal_clip_scale(np.zeros(16), 8) == 1.0
+
+    def test_heavy_tail_clips_below_max(self):
+        rng = np.random.default_rng(0)
+        channel = rng.normal(0, 1.0, 4096)
+        channel[0] = 50.0  # single extreme outlier
+        scale = optimal_clip_scale(channel, 4)
+        assert scale < 50.0 / 7.0  # tighter than max-abs scaling
+
+    @given(st.integers(2, 8), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_positive_property(self, bits, seed):
+        channel = np.random.default_rng(seed).normal(0, 1, 64)
+        assert optimal_clip_scale(channel, bits) > 0
+
+
+class TestRequantize:
+    def test_levels_reduced(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        lower = requantize_to_lower_bits(quantized, 4)
+        # 4-bit re-quantization leaves at most 16 distinct codes per channel.
+        for channel in lower.values:
+            assert len(np.unique(channel)) <= 16
+
+    def test_sensitive_channels_preserved(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        sensitive = np.zeros(quantized.num_channels, dtype=bool)
+        sensitive[:5] = True
+        lower = requantize_to_lower_bits(quantized, 4, sensitive_channels=sensitive)
+        assert np.array_equal(lower.values[:5], quantized.values[:5])
+
+    def test_error_grows_as_bits_shrink(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        errors = []
+        for bits in (6, 5, 4, 3):
+            lower = requantize_to_lower_bits(quantized, bits)
+            errors.append(float(np.mean((lower.values - quantized.values) ** 2)))
+        assert errors == sorted(errors)
+
+    def test_values_remain_in_int8_domain(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        lower = requantize_to_lower_bits(quantized, 5)
+        assert lower.values.min() >= -128
+        assert lower.values.max() <= 127
+
+    def test_rejects_upscaling(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        with pytest.raises(ValueError):
+            requantize_to_lower_bits(quantized, 8)
+
+    def test_rejects_bad_sensitive_mask(self, float_weights):
+        quantized = quantize_per_channel(float_weights, 8)
+        with pytest.raises(ValueError):
+            requantize_to_lower_bits(quantized, 4, sensitive_channels=np.zeros(3, dtype=bool))

@@ -1,0 +1,184 @@
+"""Additional coverage: result reporting, the benchmark suite, and result containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerators import ArrayConfig, StripesAccelerator
+from repro.accelerators.common import LayerPerformance
+from repro.eval.benchmarks import BenchmarkSuite
+from repro.eval.reporting import format_table, format_value, geometric_mean, render_bar_chart
+from repro.memory.hierarchy import MemoryTraffic
+from repro.nn.model_zoo import get_model
+from repro.nn.workloads import layer_workload
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_large_float_uses_scientific(self):
+        assert "e" in format_value(123456.0)
+
+    def test_tiny_float_uses_scientific(self):
+        assert "e" in format_value(1.5e-7)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool_and_string(self):
+        assert format_value(True) == "True"
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+
+class TestRenderBarChart:
+    def test_basic_rendering(self):
+        chart = render_bar_chart({"Stripes": 1.0, "BitVert": 3.0}, width=10, title="Speedup")
+        lines = chart.splitlines()
+        assert lines[0] == "Speedup"
+        assert lines[1].startswith("Stripes")
+        assert lines[2].count("#") == 10  # the max value fills the width
+        assert "3.000" in lines[2]
+
+    def test_reference_scaling(self):
+        chart = render_bar_chart({"a": 0.5}, width=10, reference=1.0)
+        assert chart.count("#") == 5
+
+    def test_values_above_reference_are_clamped(self):
+        chart = render_bar_chart({"a": 2.0}, width=10, reference=1.0)
+        assert chart.count("#") == 10
+
+    def test_empty_series(self):
+        assert "(empty)" in render_bar_chart({})
+
+    def test_zero_values(self):
+        chart = render_bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in chart
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({"a": 1.0}, width=0)
+
+
+class TestFormatTableMore:
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_precision_forwarded(self):
+        text = format_table([{"x": 1.23456}], precision=2)
+        assert "1.23" in text and "1.2346" not in text
+
+    def test_geometric_mean_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+
+class TestBenchmarkSuiteMore:
+    def test_custom_array_propagates(self):
+        suite = BenchmarkSuite(array=ArrayConfig(pe_columns=8))
+        accelerators = suite.accelerators()
+        assert accelerators["Stripes"].array.pe_columns == 8
+
+    def test_accelerators_with_override_array(self):
+        suite = BenchmarkSuite()
+        accelerators = suite.accelerators(ArrayConfig(pe_columns=4))
+        assert accelerators["BitVert (moderate)"].array.pe_columns == 4
+
+    def test_model_caching(self):
+        suite = BenchmarkSuite()
+        assert suite.model("VGG-16") is suite.model("VGG-16")
+
+    def test_sampling_caps_respected(self):
+        suite = BenchmarkSuite(max_channels=32, max_reduction=64)
+        weights = suite.weights("ViT-Small")
+        for layer in weights.values():
+            assert layer.int_weights.shape[0] <= 32
+            assert layer.int_weights.shape[1] <= 64
+
+
+class TestResultContainers:
+    def test_layer_performance_total_cycles_is_max(self):
+        traffic = MemoryTraffic(0, 0, 0, 0, 0, 0)
+        layer = LayerPerformance(
+            name="x",
+            compute_cycles=100.0,
+            dram_cycles=250.0,
+            useful_cycles=80.0,
+            intra_pe_stall_cycles=10.0,
+            inter_pe_stall_cycles=10.0,
+            compute_energy_pj=1.0,
+            sram_energy_pj=2.0,
+            dram_energy_pj=3.0,
+            stored_weight_bytes=10.0,
+            traffic=traffic,
+        )
+        assert layer.total_cycles == 250.0
+        assert layer.total_energy_pj == 6.0
+
+    def test_model_performance_aggregation_respects_repeat(self, small_vit_weights):
+        model = get_model("ViT-Small")
+        accel = StripesAccelerator()
+        result = accel.run_model(model, small_vit_weights)
+        manual = sum(layer.total_cycles * layer.repeat for layer in result.layers)
+        assert result.total_cycles == pytest.approx(manual)
+        # The repeated encoder blocks dominate the single patch-embed layer.
+        repeated = [layer for layer in result.layers if layer.repeat > 1]
+        assert sum(l.total_cycles * l.repeat for l in repeated) > 0.5 * result.total_cycles
+
+    def test_speedup_and_energy_ratio_identities(self, small_vit_weights):
+        model = get_model("ViT-Small")
+        result = StripesAccelerator().run_model(model, small_vit_weights)
+        assert result.speedup_over(result) == pytest.approx(1.0)
+        assert result.energy_ratio_to(result) == pytest.approx(1.0)
+
+    def test_execution_time_consistent_with_clock(self, small_vit_weights):
+        model = get_model("ViT-Small")
+        result = StripesAccelerator().run_model(model, small_vit_weights)
+        assert result.execution_time_s == pytest.approx(result.total_cycles / 0.8e9)
+        assert result.energy_delay_product == pytest.approx(
+            result.total_energy_pj * 1e-12 * result.execution_time_s
+        )
+
+
+class TestWorkloadLayerCoverage:
+    def test_every_benchmark_layer_lowered(self):
+        for name in ("VGG-16", "ResNet-34", "ResNet-50", "ViT-Small", "ViT-Base", "BERT-MRPC"):
+            model = get_model(name)
+            for spec in model.layers:
+                workload = layer_workload(spec)
+                assert workload.m > 0 and workload.k > 0 and workload.n > 0
+                assert workload.weight_count == spec.weight_count
+
+    def test_conv_and_fc_dominate_vgg(self):
+        model = get_model("VGG-16")
+        workloads = [layer_workload(spec) for spec in model.layers]
+        fc_weights = sum(w.weight_count for w in workloads if w.name.startswith("fc"))
+        conv_macs = sum(w.total_macs for w in workloads if w.name.startswith("conv"))
+        # VGG's well-known structure: FC layers hold most weights, conv layers
+        # most compute.
+        assert fc_weights > 0.7 * model.total_weights
+        assert conv_macs > 0.9 * model.total_macs
+
+
+class TestDeterminismAcrossRuns:
+    def test_accelerator_results_are_deterministic(self, small_vit_weights):
+        model = get_model("ViT-Small")
+        first = StripesAccelerator().run_model(model, small_vit_weights)
+        second = StripesAccelerator().run_model(model, small_vit_weights)
+        assert first.total_cycles == second.total_cycles
+        assert first.total_energy_pj == second.total_energy_pj
+
+    def test_wave_sampling_seeded(self, small_resnet_weights):
+        from repro.accelerators import PragmaticAccelerator
+
+        model = get_model("ResNet-50")
+        first = PragmaticAccelerator().run_model(model, small_resnet_weights)
+        second = PragmaticAccelerator().run_model(model, small_resnet_weights)
+        assert first.total_cycles == second.total_cycles
