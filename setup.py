@@ -1,5 +1,38 @@
-"""Setup shim so that editable installs work on offline machines without the
-``wheel`` package (pip's legacy ``--no-use-pep517`` path needs a setup.py)."""
-from setuptools import setup
+"""Packaging for the BBS reproduction (``src`` layout, console entry point).
 
-setup()
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so editable installs work
+on offline machines without the ``wheel`` package: pip's legacy
+``--no-use-pep517`` path needs exactly this file.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-bbs",
+    version="0.1.0",
+    description=(
+        "Reproduction of BBS (MICRO 2024): bi-directional bit-level sparsity "
+        "compression, cycle-level accelerator models, and a "
+        "compression-as-a-service HTTP/JSON API"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: Scientific/Engineering",
+    ],
+)

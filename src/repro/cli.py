@@ -1,21 +1,26 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Lets a user regenerate any paper table/figure, run the ablations, or print the
-benchmark-suite summary without writing Python.  Every command prints the same
-text tables the experiment functions return.
+Lets a user regenerate any paper table/figure, run the ablations, print the
+benchmark-suite summary, or serve the whole harness over HTTP without writing
+Python.  Every experiment command prints the same text tables the experiment
+functions return, or — with ``--json`` — a machine-readable payload (the same
+one the service layer caches and ships).
 
 Examples::
 
     python -m repro.cli list
     python -m repro.cli figure3
     python -m repro.cli figure12 --models ResNet-50 ViT-Small
+    python -m repro.cli table5 --json
     python -m repro.cli ablations
     python -m repro.cli all --fast
+    python -m repro.cli serve --port 8000 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable
@@ -23,8 +28,9 @@ from typing import Callable
 from .eval import experiments
 from .eval.ablations import run_all_ablations
 from .eval.benchmarks import BENCHMARK_MODEL_NAMES, BenchmarkSuite
+from .eval.experiments import json_payload
 
-__all__ = ["main", "EXPERIMENT_COMMANDS"]
+__all__ = ["main", "run_experiment", "EXPERIMENT_COMMANDS"]
 
 
 #: Experiment name -> (callable accepting optional models/suite kwargs, takes_models)
@@ -48,6 +54,23 @@ EXPERIMENT_COMMANDS: dict[str, tuple[Callable[..., dict], bool]] = {
 }
 
 
+def run_experiment(name: str, models: list[str] | None = None, seed: int = 0) -> dict:
+    """Run one named experiment with only the kwargs its function accepts.
+
+    The single entry point shared by the CLI commands and the service
+    registry, so both produce byte-identical results for identical inputs.
+    """
+    function, takes_models = EXPERIMENT_COMMANDS[name]
+    kwargs: dict = {}
+    if takes_models and models:
+        kwargs["models"] = list(models)
+    if "seed" in function.__code__.co_varnames:
+        kwargs["seed"] = seed
+    if "suite" in function.__code__.co_varnames:
+        kwargs["suite"] = BenchmarkSuite(seed=seed)
+    return function(**kwargs)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -61,29 +84,64 @@ def _build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         sub.add_argument("--models", nargs="+", choices=BENCHMARK_MODEL_NAMES, default=None)
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--json", action="store_true", help="emit JSON instead of tables")
 
     ablation_parser = subparsers.add_parser("ablations", help="run the design-choice ablations")
     ablation_parser.add_argument("--seed", type=int, default=0)
+    ablation_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--fast", action="store_true", help="use reduced model subsets")
     all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve the experiment harness over HTTP (JSON API)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8000)
+    serve_parser.add_argument("--workers", type=int, default=2, help="worker threads")
+    serve_parser.add_argument("--cache-size", type=int, default=256, help="in-memory LRU entries")
+    serve_parser.add_argument(
+        "--cache-dir", default=None, help="persist cached results to this directory"
+    )
+    serve_parser.add_argument("--verbose", action="store_true", help="log every request")
     return parser
 
 
 def _run_single(name: str, args: argparse.Namespace) -> int:
-    function, takes_models = EXPERIMENT_COMMANDS[name]
-    kwargs: dict = {}
-    if takes_models and getattr(args, "models", None):
-        kwargs["models"] = args.models
-    if "seed" in function.__code__.co_varnames:
-        kwargs["seed"] = args.seed
-    if "suite" in function.__code__.co_varnames:
-        kwargs["suite"] = BenchmarkSuite(seed=args.seed)
-    start = time.time()
-    result = function(**kwargs)
-    print(result["table"])
-    print(f"[{name} regenerated in {time.time() - start:.1f}s]")
+    start = time.perf_counter()
+    result = run_experiment(name, models=getattr(args, "models", None), seed=args.seed)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        print(json.dumps(json_payload(result), indent=2))
+    else:
+        print(result["table"])
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from .service.server import create_server
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[0], server.port
+    print(f"repro service listening on http://{host}:{port}")
+    print(f"  scenarios: {len(server.registry)}  workers: {args.workers}")
+    print("  endpoints: /health /scenarios /jobs /cache/stats  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close(wait=False)
     return 0
 
 
@@ -101,15 +159,25 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "ablations":
-        for name, result in run_all_ablations(seed=args.seed).items():
-            print(result["table"])
+        results = run_all_ablations(seed=args.seed)
+        if args.json:
+            print(json.dumps({name: json_payload(r) for name, r in results.items()}, indent=2))
+        else:
+            for name, result in results.items():
+                print(result["table"])
         return 0
 
     if args.command == "all":
         results = experiments.run_all(fast=args.fast, seed=args.seed)
-        for name, result in results.items():
-            print(result["table"])
+        if args.json:
+            print(json.dumps({name: json_payload(r) for name, r in results.items()}, indent=2))
+        else:
+            for name, result in results.items():
+                print(result["table"])
         return 0
+
+    if args.command == "serve":
+        return _serve(args)
 
     return _run_single(args.command, args)
 

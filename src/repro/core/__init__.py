@@ -16,6 +16,8 @@ This subpackage implements the paper's primary algorithmic contribution:
   dot-product identities.
 * :mod:`repro.core.global_pruning` — hardware-aware global per-channel
   pruning (Algorithm 2) with the paper's conservative/moderate presets.
+* :mod:`repro.core.hashing` — stable content digests of tensors and
+  configurations (cache keys for the service layer).
 """
 
 from .bitplane import (
@@ -54,6 +56,7 @@ from .global_pruning import (
     select_sensitive_channels,
 )
 from .grouping import GroupedTensor, group_weights, ungroup_weights
+from .hashing import stable_digest, tensor_digest
 from .metrics import (
     cosine_similarity,
     effective_bits,
@@ -112,6 +115,9 @@ __all__ = [
     "GroupedTensor",
     "group_weights",
     "ungroup_weights",
+    # hashing
+    "stable_digest",
+    "tensor_digest",
     # metrics
     "cosine_similarity",
     "effective_bits",

@@ -128,6 +128,29 @@ class PrunedTensor:
             return 0.0
         return metrics.kl_divergence(self.original, self.values)
 
+    def content_digest(self) -> str:
+        """Stable hex digest of the compressed contents + pruning configuration.
+
+        Two :func:`prune_tensor` calls on identical inputs produce identical
+        digests, so the digest can key result caches and deduplicate work (the
+        ``original`` tensor is deliberately excluded: it does not affect the
+        compressed artifact).
+        """
+        from .hashing import stable_digest
+
+        return stable_digest(
+            "PrunedTensor",
+            self.values,
+            self.strategy,
+            self.num_columns,
+            self.group_size,
+            self.num_redundant,
+            self.num_sparse,
+            self.constants,
+            self.pruned_channel_mask,
+            self.bits,
+        )
+
 
 def prune_group(
     group: np.ndarray,

@@ -1,0 +1,89 @@
+"""Stable content hashing of tensors and experiment configurations.
+
+The service layer caches experiment results by a digest of their inputs, so
+the digest must be *stable*: independent of dict insertion order, memory
+layout, or Python hash randomization, and collision-safe across types (the
+integer ``1`` and the string ``"1"`` must hash differently).  Every supported
+value is folded into the hash with an explicit type tag; unsupported types
+raise ``TypeError`` instead of silently falling back to ``repr``, which would
+make cache keys depend on interpreter details.
+
+Supported values: ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+numpy scalars and arrays, enums, dataclasses, and arbitrarily nested
+dict/list/tuple/set containers of the above.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import struct
+from typing import Any
+
+import numpy as np
+
+__all__ = ["stable_digest", "tensor_digest"]
+
+
+def _update(hasher: "hashlib._Hash", value: Any) -> None:
+    """Fold one value into ``hasher`` with an unambiguous type-tagged encoding."""
+    if value is None:
+        hasher.update(b"N;")
+    elif isinstance(value, (bool, np.bool_)):
+        hasher.update(b"b1;" if value else b"b0;")
+    elif isinstance(value, (int, np.integer)):
+        hasher.update(f"i{int(value)};".encode())
+    elif isinstance(value, (float, np.floating)):
+        # struct gives a byte-exact encoding (repr of -0.0 / denormals varies).
+        hasher.update(b"f" + struct.pack("<d", float(value)) + b";")
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        hasher.update(f"s{len(encoded)}:".encode() + encoded + b";")
+    elif isinstance(value, (bytes, bytearray)):
+        hasher.update(f"y{len(value)}:".encode() + bytes(value) + b";")
+    elif isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        header = f"a{contiguous.dtype.str}{contiguous.shape}:".encode()
+        hasher.update(header + contiguous.tobytes() + b";")
+    elif isinstance(value, enum.Enum):
+        hasher.update(f"e{type(value).__name__}.{value.name};".encode())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        hasher.update(f"D{type(value).__name__}(".encode())
+        for field in dataclasses.fields(value):
+            _update(hasher, field.name)
+            _update(hasher, getattr(value, field.name))
+        hasher.update(b");")
+    elif isinstance(value, dict):
+        hasher.update(f"d{len(value)}(".encode())
+        items = sorted(value.items(), key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
+        for key, item in items:
+            _update(hasher, key)
+            _update(hasher, item)
+        hasher.update(b");")
+    elif isinstance(value, (list, tuple)):
+        tag = b"l" if isinstance(value, list) else b"t"
+        hasher.update(tag + f"{len(value)}(".encode())
+        for item in value:
+            _update(hasher, item)
+        hasher.update(b");")
+    elif isinstance(value, (set, frozenset)):
+        hasher.update(f"S{len(value)}(".encode())
+        for item in sorted(value, key=lambda v: (type(v).__name__, repr(v))):
+            _update(hasher, item)
+        hasher.update(b");")
+    else:
+        raise TypeError(f"cannot hash value of type {type(value).__name__!r}")
+
+
+def stable_digest(*values: Any, algorithm: str = "sha256") -> str:
+    """Hex digest of any nesting of supported values; stable across processes."""
+    hasher = hashlib.new(algorithm)
+    for value in values:
+        _update(hasher, value)
+    return hasher.hexdigest()
+
+
+def tensor_digest(array: np.ndarray, algorithm: str = "sha256") -> str:
+    """Hex digest of one array's dtype + shape + contents."""
+    return stable_digest(np.asarray(array), algorithm=algorithm)

@@ -9,7 +9,7 @@ one suite and share it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..accelerators import (
     AntAccelerator,
@@ -17,15 +17,22 @@ from ..accelerators import (
     BitletAccelerator,
     BitVertAccelerator,
     BitWaveAccelerator,
+    ModelPerformance,
     PragmaticAccelerator,
     SparTenAccelerator,
     StripesAccelerator,
 )
 from ..core.global_pruning import CONSERVATIVE_PRESET, MODERATE_PRESET
+from ..core.hashing import stable_digest
 from ..nn.model_zoo import ModelSpec, get_model
 from ..nn.synthetic import LayerWeights, synthesize_model
 
-__all__ = ["BenchmarkSuite", "BENCHMARK_MODEL_NAMES", "ACCELERATOR_NAMES"]
+__all__ = [
+    "BenchmarkSuite",
+    "BENCHMARK_MODEL_NAMES",
+    "ACCELERATOR_NAMES",
+    "performance_summary",
+]
 
 
 #: The seven DNN benchmarks of Table I, in the paper's order.
@@ -88,6 +95,23 @@ class BenchmarkSuite:
             )
         return self._weights[name]
 
+    def config(self) -> dict:
+        """The suite parameters that determine every result it can produce.
+
+        Used by the service layer to key cached results: two suites with equal
+        configs synthesize identical weights and therefore identical numbers.
+        """
+        return {
+            "seed": self.seed,
+            "max_channels": self.max_channels,
+            "max_reduction": self.max_reduction,
+            "array": asdict(self.array),
+        }
+
+    def config_digest(self) -> str:
+        """Stable hex digest of :meth:`config`."""
+        return stable_digest("BenchmarkSuite", self.config())
+
     def accelerators(self, array: ArrayConfig | None = None) -> dict[str, object]:
         """The standard accelerator line-up (fresh instances, shared geometry)."""
         array = array or self.array
@@ -103,3 +127,29 @@ class BenchmarkSuite:
             ),
             "BitVert (moderate)": BitVertAccelerator(preset=MODERATE_PRESET, array=array),
         }
+
+
+def performance_summary(performance: ModelPerformance) -> dict:
+    """Flatten a :class:`ModelPerformance` into a JSON-serializable summary.
+
+    Keeps the model-level aggregates the experiments report (cycles, energy
+    split, stall breakdown, execution time, EDP) and drops the per-layer
+    records, which are implementation detail and dominate the object's size.
+    """
+    return {
+        "accelerator": performance.accelerator,
+        "model": performance.model,
+        "num_layers": len(performance.layers),
+        "total_cycles": float(performance.total_cycles),
+        "compute_cycles": float(performance.compute_cycles),
+        "dram_cycles": float(performance.dram_cycles),
+        "useful_cycles": float(performance.useful_cycles),
+        "intra_pe_stall_cycles": float(performance.intra_pe_stall_cycles),
+        "inter_pe_stall_cycles": float(performance.inter_pe_stall_cycles),
+        "total_energy_pj": float(performance.total_energy_pj),
+        "on_chip_energy_pj": float(performance.on_chip_energy_pj),
+        "off_chip_energy_pj": float(performance.off_chip_energy_pj),
+        "execution_time_s": float(performance.execution_time_s),
+        "energy_delay_product": float(performance.energy_delay_product),
+        "clock_ghz": float(performance.clock_ghz),
+    }

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .benchmarks import ACCELERATOR_NAMES, BENCHMARK_MODEL_NAMES, BenchmarkSuite
-from .reporting import format_table, geometric_mean
+from .reporting import format_table, geometric_mean, to_jsonable
 from ..accelerators import (
     ArrayConfig,
     BitletAccelerator,
@@ -83,8 +83,30 @@ __all__ = [
     "figure16_pareto",
     "figure17_llm",
     "table6_olive_pe",
+    "json_payload",
     "run_all",
 ]
+
+
+def json_payload(result: dict) -> dict:
+    """Strictly-JSON view of one experiment result.
+
+    Experiment dicts mix serializable fields (``rows``, ``table``) with live
+    objects: the ``results`` key of Figures 12/13 holds ``ModelPerformance``
+    instances whose per-layer records are orders of magnitude bigger than the
+    rows they summarize, so that key is dropped outright.  Any remaining field
+    that does not survive :func:`repro.eval.reporting.to_jsonable` is dropped
+    rather than half-serialized.
+    """
+    payload: dict = {}
+    for key, value in result.items():
+        if key == "results":
+            continue
+        try:
+            payload[key] = to_jsonable(value)
+        except TypeError:
+            continue
+    return payload
 
 
 # --------------------------------------------------------------------------- #

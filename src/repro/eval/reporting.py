@@ -8,9 +8,20 @@ can print "the same rows/series the paper reports".
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import math
 from typing import Any, Iterable
 
-__all__ = ["format_table", "format_value", "geometric_mean", "render_bar_chart"]
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_value",
+    "geometric_mean",
+    "render_bar_chart",
+    "to_jsonable",
+]
 
 
 def format_value(value: Any, precision: int = 3) -> str:
@@ -102,6 +113,38 @@ def render_bar_chart(
         bar = "#" * bar_length
         lines.append(f"{name.ljust(name_width)} |{bar.ljust(width)} {value:.3f}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert an experiment value to something ``json.dumps`` accepts strictly.
+
+    Numpy scalars become Python scalars, arrays become nested lists, enums
+    their value, dataclasses dicts, and non-finite floats ``None`` (strict
+    JSON has no NaN/Infinity; the geomean rows of Figure 13 carry NaN cells).
+    Unsupported types raise ``TypeError`` so callers can drop those fields
+    explicitly instead of shipping unparseable payloads.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return to_jsonable(float(value))
+    if isinstance(value, np.ndarray):
+        return to_jsonable(value.tolist())
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    raise TypeError(f"cannot convert {type(value).__name__!r} to JSON")
 
 
 def geometric_mean(values: Iterable[float]) -> float:

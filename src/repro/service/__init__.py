@@ -1,0 +1,34 @@
+"""Compression-as-a-service layer over the experiment harness.
+
+Turns the batch CLI into a servable system (``python -m repro.cli serve``):
+
+* :mod:`repro.service.cache` — content-hash result cache (LRU + optional
+  disk persistence) keyed by stable digests of job inputs.
+* :mod:`repro.service.jobs` — job records, lifecycle states, and the store.
+* :mod:`repro.service.registry` — named, parameterized job types: every
+  paper experiment plus ad-hoc compression/simulation jobs.
+* :mod:`repro.service.workers` — thread pool executing jobs with caching
+  and in-flight deduplication.
+* :mod:`repro.service.server` — pure-stdlib HTTP/JSON API.
+"""
+
+from .cache import CacheStats, ResultCache
+from .jobs import Job, JobState, JobStore
+from .registry import JobType, ScenarioRegistry, build_default_registry
+from .server import ReproServer, create_server
+from .workers import WorkerPool, job_digest
+
+__all__ = [
+    "CacheStats",
+    "Job",
+    "JobState",
+    "JobStore",
+    "JobType",
+    "ReproServer",
+    "ResultCache",
+    "ScenarioRegistry",
+    "WorkerPool",
+    "build_default_registry",
+    "create_server",
+    "job_digest",
+]

@@ -1,0 +1,179 @@
+"""Job records and the thread-safe job store.
+
+A :class:`Job` tracks one submitted request through its lifecycle
+(``queued -> running -> done | failed``) with wall-clock timestamps for the
+API and monotonic (``time.perf_counter``) durations for the timing stats.
+Completion is signalled through a ``threading.Event`` so HTTP handlers and
+tests can block on a job without polling.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Job", "JobState", "JobStore"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+@dataclass
+class Job:
+    """One submitted request and everything observed about it."""
+
+    job_id: str
+    job_type: str
+    params: dict
+    digest: str
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    queue_seconds: float | None = None
+    run_seconds: float | None = None
+    result: Any = field(default=None, repr=False)
+    error: str | None = None
+    cache_hit: bool = False
+    dedup_count: int = 0
+    _submitted_pc: float = field(default_factory=time.perf_counter, repr=False, compare=False)
+    _started_pc: float | None = field(default=None, repr=False, compare=False)
+    _done_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle transitions (called by the worker pool)
+    # ------------------------------------------------------------------ #
+
+    def mark_running(self) -> None:
+        self.state = JobState.RUNNING
+        self.started_at = time.time()
+        self._started_pc = time.perf_counter()
+        self.queue_seconds = self._started_pc - self._submitted_pc
+
+    def mark_done(self, result: Any, cache_hit: bool = False) -> None:
+        self.result = result
+        self.cache_hit = cache_hit
+        self._finish(JobState.DONE)
+
+    def mark_failed(self, error: str) -> None:
+        self.error = error
+        self._finish(JobState.FAILED)
+
+    def _finish(self, state: JobState) -> None:
+        now_pc = time.perf_counter()
+        self.state = state
+        self.finished_at = time.time()
+        if self._started_pc is not None:
+            self.run_seconds = now_pc - self._started_pc
+        elif self.cache_hit:
+            # Cache hits never enter RUNNING: they finish at submit time.
+            self.queue_seconds = 0.0
+            self.run_seconds = now_pc - self._submitted_pc
+        self._done_event.set()
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finishes; ``False`` on timeout."""
+        return self._done_event.wait(timeout)
+
+    def to_dict(self, include_result: bool = False) -> dict:
+        """JSON-serializable view; the (possibly large) result is opt-in."""
+        payload = {
+            "job_id": self.job_id,
+            "type": self.job_type,
+            "params": self.params,
+            "digest": self.digest,
+            "state": self.state.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+            "cache_hit": self.cache_hit,
+            "dedup_count": self.dedup_count,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobStore:
+    """Thread-safe registry of the jobs the service has seen.
+
+    Finished jobs (and their result payloads) are kept as history up to
+    ``max_finished`` entries, oldest evicted first, so a long-running service
+    does not accumulate every result ever computed; queued/running jobs are
+    never evicted.  Results stay reachable through the cache after eviction.
+    """
+
+    def __init__(self, max_finished: int = 1024) -> None:
+        if max_finished <= 0:
+            raise ValueError("max_finished must be positive")
+        self.max_finished = max_finished
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._counter = itertools.count(1)
+
+    def create(self, job_type: str, params: dict, digest: str) -> Job:
+        with self._lock:
+            self._evict_finished()
+            job = Job(
+                job_id=f"job-{next(self._counter):06d}",
+                job_type=job_type,
+                params=params,
+                digest=digest,
+            )
+            self._jobs[job.job_id] = job
+            return job
+
+    def _evict_finished(self) -> None:
+        overflow = len(self._jobs) + 1 - self.max_finished
+        if overflow <= 0:
+            return
+        for job_id in [
+            job.job_id for job in self._jobs.values() if job.state.finished
+        ][:overflow]:
+            del self._jobs[job_id]
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, state: JobState | None = None) -> list[Job]:
+        """All jobs in submission order, optionally filtered by state."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if state is not None:
+            jobs = [job for job in jobs if job.state is state]
+        return jobs
+
+    def counts(self) -> dict[str, int]:
+        """Number of jobs per state (always reporting every state)."""
+        counts = {state.value: 0 for state in JobState}
+        for job in self.jobs():
+            counts[job.state.value] += 1
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -1,0 +1,263 @@
+"""Scenario registry: every runnable job type of the service, by name.
+
+A :class:`JobType` pairs a name with a runner and its parameter defaults;
+parameters outside the declared set are rejected so that typos fail loudly
+instead of silently hashing to a fresh cache entry.  Runners return
+strictly-JSON data (see :func:`repro.eval.reporting.to_jsonable`), which is
+what the cache persists and the HTTP API ships.
+
+:func:`build_default_registry` exposes:
+
+* every table/figure of the paper (the CLI's ``EXPERIMENT_COMMANDS``),
+* ``ablations`` and the full ``suite`` reproduction,
+* ad-hoc jobs: ``prune_tensor`` (compress one synthetic INT8 matrix) and
+  ``simulate`` (one model on one accelerator of the line-up).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+__all__ = ["JobType", "ScenarioRegistry", "build_default_registry"]
+
+
+@dataclass(frozen=True)
+class JobType:
+    """One named, parameterized computation the service can run."""
+
+    name: str
+    description: str
+    runner: Callable[..., Any] = field(repr=False)
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def run(self, params: Mapping[str, Any] | None = None) -> Any:
+        params = dict(params or {})
+        unknown = sorted(set(params) - set(self.defaults))
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {unknown} for job type {self.name!r}; "
+                f"accepted: {sorted(self.defaults)}"
+            )
+        merged = {**self.defaults, **params}
+        return self.runner(**merged)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "params": {key: value for key, value in self.defaults.items()},
+        }
+
+
+class ScenarioRegistry:
+    """Name -> :class:`JobType` mapping with validation."""
+
+    def __init__(self) -> None:
+        self._types: dict[str, JobType] = {}
+
+    def register(self, job_type: JobType) -> JobType:
+        if job_type.name in self._types:
+            raise ValueError(f"job type {job_type.name!r} already registered")
+        self._types[job_type.name] = job_type
+        return job_type
+
+    def add(
+        self,
+        name: str,
+        description: str,
+        runner: Callable[..., Any],
+        defaults: Mapping[str, Any] | None = None,
+    ) -> JobType:
+        return self.register(JobType(name, description, runner, dict(defaults or {})))
+
+    def get(self, name: str) -> JobType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown job type {name!r}; available: {self.names()}"
+            ) from None
+
+    def run(self, name: str, params: Mapping[str, Any] | None = None) -> Any:
+        return self.get(name).run(params)
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+    def describe(self) -> list[dict]:
+        return [self._types[name].describe() for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+
+# --------------------------------------------------------------------------- #
+# Ad-hoc job runners
+# --------------------------------------------------------------------------- #
+
+
+def _run_prune_tensor(
+    rows: int,
+    cols: int,
+    seed: int,
+    num_columns: int,
+    strategy: str,
+    group_size: int,
+    beta: float,
+    scale: float,
+) -> dict:
+    """Compress one synthetic Gaussian INT8 matrix and report the outcome."""
+    from ..core import PruningStrategy, prune_tensor
+
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    generator = np.random.default_rng(seed)
+    weights = np.clip(
+        np.round(generator.normal(0.0, scale, size=(rows, cols))), -128, 127
+    ).astype(np.int64)
+
+    sensitive = np.zeros(rows, dtype=bool)
+    count = int(np.ceil(beta * rows))
+    if count:
+        order = np.argsort(-np.abs(weights).max(axis=1), kind="stable")
+        sensitive[order[:count]] = True
+
+    pruned = prune_tensor(
+        weights,
+        num_columns,
+        PruningStrategy(strategy),
+        group_size=group_size,
+        sensitive_channels=sensitive,
+    )
+    return {
+        "shape": [rows, cols],
+        "strategy": PruningStrategy(strategy).value,
+        "num_columns": num_columns,
+        "group_size": group_size,
+        "beta": beta,
+        "content_digest": pruned.content_digest(),
+        "storage_bits": int(pruned.storage_bits()),
+        "effective_bits": float(pruned.effective_bits()),
+        "compression_ratio": float(pruned.compression_ratio()),
+        "mse": float(pruned.mse()),
+        "kl_divergence": float(pruned.kl_divergence()),
+    }
+
+
+def _run_simulate(
+    model: str,
+    accelerator: str,
+    seed: int,
+    max_channels: int,
+    max_reduction: int,
+) -> dict:
+    """Run one benchmark model on one accelerator of the standard line-up."""
+    from ..eval.benchmarks import BenchmarkSuite, performance_summary
+
+    suite = BenchmarkSuite(seed=seed, max_channels=max_channels, max_reduction=max_reduction)
+    instances = suite.accelerators()
+    if accelerator not in instances:
+        raise ValueError(
+            f"unknown accelerator {accelerator!r}; available: {sorted(instances)}"
+        )
+    performance = instances[accelerator].run_model(suite.model(model), suite.weights(model))
+    return {
+        "suite": suite.config(),
+        "suite_digest": suite.config_digest(),
+        **performance_summary(performance),
+    }
+
+
+def _experiment_runner(name: str) -> Callable[..., dict]:
+    def runner(**params: Any) -> dict:
+        from ..cli import run_experiment
+        from ..eval.experiments import json_payload
+
+        return json_payload(run_experiment(name, **params))
+
+    runner.__name__ = f"run_{name}"
+    return runner
+
+
+def _run_ablations(seed: int) -> dict:
+    from ..eval.ablations import run_all_ablations
+    from ..eval.experiments import json_payload
+
+    return {name: json_payload(result) for name, result in run_all_ablations(seed=seed).items()}
+
+
+def _run_suite(fast: bool, seed: int) -> dict:
+    from ..eval import experiments
+    from ..eval.experiments import json_payload
+
+    return {
+        name: json_payload(result)
+        for name, result in experiments.run_all(fast=fast, seed=seed).items()
+    }
+
+
+def build_default_registry() -> ScenarioRegistry:
+    """The standard service registry: experiments + ablations + ad-hoc jobs."""
+    from ..cli import EXPERIMENT_COMMANDS
+
+    registry = ScenarioRegistry()
+    for name, (function, takes_models) in EXPERIMENT_COMMANDS.items():
+        defaults: dict[str, Any] = {}
+        if takes_models:
+            defaults["models"] = None
+        parameters = inspect.signature(function).parameters
+        # A "suite" parameter also consumes the seed (run_experiment builds
+        # the BenchmarkSuite from it), so those experiments are seedable too.
+        if "seed" in parameters or "suite" in parameters:
+            defaults["seed"] = 0
+        summary = (function.__doc__ or name).strip().splitlines()[0]
+        registry.add(name, summary, _experiment_runner(name), defaults)
+
+    registry.add(
+        "ablations",
+        "Run every design-choice ablation study.",
+        _run_ablations,
+        {"seed": 0},
+    )
+    registry.add(
+        "suite",
+        "Run the full paper reproduction (every table and figure).",
+        _run_suite,
+        {"fast": True, "seed": 0},
+    )
+    registry.add(
+        "prune_tensor",
+        "Binary-prune one synthetic Gaussian INT8 matrix and report "
+        "compression quality and footprint.",
+        _run_prune_tensor,
+        {
+            "rows": 128,
+            "cols": 1024,
+            "seed": 0,
+            "num_columns": 4,
+            "strategy": "zero_point_shift",
+            "group_size": 32,
+            "beta": 0.0,
+            "scale": 24.0,
+        },
+    )
+    registry.add(
+        "simulate",
+        "Run one benchmark model on one accelerator and report cycles/energy.",
+        _run_simulate,
+        {
+            "model": "ResNet-50",
+            "accelerator": "BitVert (moderate)",
+            "seed": 0,
+            "max_channels": 96,
+            "max_reduction": 768,
+        },
+    )
+    return registry

@@ -1,0 +1,213 @@
+"""Pure-stdlib HTTP/JSON API over the worker pool.
+
+Built on ``http.server.ThreadingHTTPServer`` so the service needs nothing the
+repository does not already depend on.  Endpoints:
+
+========  =========================  ==============================================
+Method    Path                       Meaning
+========  =========================  ==============================================
+GET       /health                    liveness + uptime + pool stats
+GET       /scenarios                 the registry's job types and their parameters
+GET       /cache/stats               cache hit/miss/eviction counters
+GET       /jobs                      every job (summaries, no results)
+GET       /jobs/<id>                 one job's status (no result)
+GET       /jobs/<id>/result          finished job's full record incl. result
+POST      /jobs                      submit ``{"type": ..., "params": {...}}``
+========  =========================  ==============================================
+
+``POST /jobs?wait=<seconds>`` blocks (bounded) until the job finishes and then
+includes the result — handy for synchronous clients; everyone else polls
+``/jobs/<id>``.  Responses are strict JSON (no NaN), UTF-8 encoded.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from .cache import ResultCache
+from .jobs import JobState
+from .registry import ScenarioRegistry, build_default_registry
+from .workers import WorkerPool
+
+__all__ = ["ReproServer", "create_server"]
+
+#: Upper bound on ``?wait=`` so a client cannot pin a handler thread forever.
+MAX_WAIT_SECONDS = 300.0
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server: "ReproServer"
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _drain_body(self) -> bytes:
+        """Always consume the request body: on a keep-alive connection,
+        unread bytes would be parsed as the next request line."""
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _parse_json_body(self, raw: bytes) -> dict:
+        if not raw:
+            raise ValueError("empty request body; expected a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"invalid JSON body: {error}") from None
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        pool = self.server.pool
+
+        if parts == ["health"]:
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_seconds": time.time() - self.server.started_at,
+                    "scenarios": len(self.server.registry),
+                    "pool": pool.stats(),
+                },
+            )
+        elif parts == ["scenarios"]:
+            self._send_json(200, {"scenarios": self.server.registry.describe()})
+        elif parts == ["cache", "stats"]:
+            self._send_json(200, pool.cache.stats())
+        elif parts == ["jobs"]:
+            self._send_json(200, {"jobs": [job.to_dict() for job in pool.store.jobs()]})
+        elif len(parts) in (2, 3) and parts[0] == "jobs":
+            job = pool.store.get(parts[1])
+            if job is None:
+                self._send_json(404, {"error": f"no such job {parts[1]!r}"})
+            elif len(parts) == 2:
+                self._send_json(200, job.to_dict())
+            elif parts[2] == "result":
+                if not job.state.finished:
+                    self._send_json(409, {"error": "job not finished", **job.to_dict()})
+                else:
+                    self._send_json(200, job.to_dict(include_result=True))
+            else:
+                self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+        else:
+            self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        raw = self._drain_body()
+        if [part for part in url.path.split("/") if part] != ["jobs"]:
+            self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+            return
+        try:
+            wait_seconds = self._parse_wait(url.query)
+            body = self._parse_json_body(raw)
+            job_type = body.get("type")
+            if not isinstance(job_type, str):
+                raise ValueError('missing or non-string "type" field')
+            params = body.get("params")
+            if params is None:
+                params = {}
+            if not isinstance(params, dict):
+                raise ValueError('"params" must be a JSON object')
+            job = self.server.pool.submit(job_type, params)
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+
+        if wait_seconds is not None:
+            job.wait(wait_seconds)
+        finished = job.state.finished
+        status = 200 if finished else 202
+        self._send_json(status, job.to_dict(include_result=job.state is JobState.DONE))
+
+    @staticmethod
+    def _parse_wait(query_string: str) -> float | None:
+        """Parse ``?wait=<seconds>``; invalid values are a client error."""
+        query = parse_qs(query_string)
+        if "wait" not in query:
+            return None
+        try:
+            wait_seconds = float(query["wait"][0])
+        except (TypeError, ValueError):
+            raise ValueError(f'invalid "wait" value {query["wait"][0]!r}') from None
+        if math.isnan(wait_seconds):
+            raise ValueError('"wait" must not be NaN')
+        return min(max(wait_seconds, 0.0), MAX_WAIT_SECONDS)
+
+
+class ReproServer(ThreadingHTTPServer):
+    """HTTP server owning the registry, cache, and worker pool."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: ScenarioRegistry,
+        cache: ResultCache,
+        max_workers: int = 2,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _RequestHandler)
+        self.registry = registry
+        self.pool = WorkerPool(registry, cache=cache, max_workers=max_workers)
+        self.started_at = time.time()
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down.
+
+        ``wait=False`` abandons in-flight jobs instead of draining them
+        (the CLI uses this so Ctrl-C exits promptly).
+        """
+        self.shutdown()
+        self.server_close()
+        self.pool.shutdown(wait=wait)
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    registry: ScenarioRegistry | None = None,
+    cache: ResultCache | None = None,
+    max_workers: int = 2,
+    cache_size: int = 256,
+    cache_dir: str | None = None,
+    verbose: bool = False,
+) -> ReproServer:
+    """Build a ready-to-serve :class:`ReproServer` (``port=0`` -> ephemeral)."""
+    if registry is None:
+        registry = build_default_registry()
+    if cache is None:
+        cache = ResultCache(max_entries=cache_size, directory=cache_dir)
+    return ReproServer((host, port), registry, cache, max_workers=max_workers, verbose=verbose)

@@ -1,0 +1,139 @@
+"""Worker pool: executes registry jobs on threads with caching and dedup.
+
+Submission path (all under one lock, so concurrent clients agree):
+
+1. compute the job's content digest from ``(job type, params)``;
+2. cache hit -> a job that is born ``done`` with ``cache_hit=True``;
+3. an identical job already queued/running -> return *that* job (in-flight
+   deduplication: concurrent clients share one computation);
+4. otherwise enqueue a fresh job on the ``ThreadPoolExecutor``.
+
+Results are cached only on success; failures capture the traceback on the job
+and are re-runnable.  Threads (not processes) are the right pool here: the
+experiment workloads spend their time inside numpy, which releases the GIL.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.hashing import stable_digest
+from .cache import ResultCache
+from .jobs import Job, JobStore
+from .registry import ScenarioRegistry
+
+__all__ = ["WorkerPool", "job_digest"]
+
+
+def job_digest(job_type: str, params: dict) -> str:
+    """Stable content digest identifying one job's full input."""
+    return stable_digest("repro-job", job_type, params)
+
+
+class WorkerPool:
+    """Thread pool executing registry jobs with result caching and dedup."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry,
+        cache: ResultCache | None = None,
+        max_workers: int = 2,
+        store: JobStore | None = None,
+    ):
+        self.registry = registry
+        self.cache = cache if cache is not None else ResultCache()
+        self.store = store if store is not None else JobStore()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-worker"
+        )
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._inflight: dict[str, str] = {}  # digest -> job_id
+        self._submitted = 0
+        self._cache_hits = 0
+        self._dedup_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(self, job_type: str, params: dict | None = None) -> Job:
+        """Submit a job; may return an already-finished or shared job."""
+        declared = self.registry.get(job_type)  # fail fast on unknown job types
+        # Canonicalize against the declared defaults before hashing, so
+        # {"seed": 0} and {} dedup/cache to the same digest (unknown keys are
+        # kept and rejected at run time, failing the job with a clear error).
+        params = {**declared.defaults, **dict(params or {})}
+        digest = job_digest(job_type, params)
+        with self._lock:
+            cached = self.cache.get(digest)
+            if cached is not None:
+                job = self.store.create(job_type, params, digest)
+                job.mark_done(cached, cache_hit=True)
+                self._cache_hits += 1
+                return job
+            existing_id = self._inflight.get(digest)
+            if existing_id is not None:
+                existing = self.store.get(existing_id)
+                if existing is not None and not existing.state.finished:
+                    existing.dedup_count += 1
+                    self._dedup_hits += 1
+                    return existing
+            job = self.store.create(job_type, params, digest)
+            self._inflight[digest] = job.job_id
+            self._submitted += 1
+        self._executor.submit(self._execute, job)
+        return job
+
+    def run(self, job_type: str, params: dict | None = None, timeout: float | None = None) -> Job:
+        """Submit and block until finished (convenience for CLI/tests)."""
+        job = self.submit(job_type, params)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job.job_id} ({job_type}) did not finish in {timeout}s")
+        return job
+
+    def _execute(self, job: Job) -> None:
+        job.mark_running()
+        try:
+            result = self.registry.run(job.job_type, job.params)
+            # Store before marking done: once a client sees DONE, the cache
+            # must already serve the digest.
+            self.cache.put(job.digest, result)
+            job.mark_done(result)
+        except Exception:
+            job.mark_failed(traceback.format_exc())
+        finally:
+            with self._lock:
+                self._inflight.pop(job.digest, None)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / shutdown
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        with self._lock:
+            submitted, cache_hits, dedup_hits = (
+                self._submitted,
+                self._cache_hits,
+                self._dedup_hits,
+            )
+            inflight = len(self._inflight)
+        return {
+            "workers": self.max_workers,
+            "executed": submitted,
+            "cache_hits": cache_hits,
+            "dedup_hits": dedup_hits,
+            "inflight": inflight,
+            "states": self.store.counts(),
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -159,17 +159,23 @@ class TestZeroPointShiftGroup:
         assert pruned.values.min() >= lo
         assert pruned.values.max() <= hi
 
-    @given(st.lists(st.integers(-128, 127), min_size=8, max_size=32))
-    @settings(max_examples=60, deadline=None)
-    def test_not_worse_than_rounded_average_at_four_columns_property(self, values):
+    def test_not_worse_than_rounded_average_at_four_columns_property(self):
         # The paper's rationale for zero-point shifting: at eager pruning
-        # budgets it achieves lower error than rounded averaging.
-        group = np.array(values)
-        zps = zero_point_shift_group(group, 4)
-        ra = rounded_average_group(group, 4)
-        zps_mse = float(np.mean((zps.values - group) ** 2))
-        ra_mse = float(np.mean((ra.values - group) ** 2))
-        assert zps_mse <= ra_mse + 1e-9
+        # budgets it achieves lower error than rounded averaging.  The claim
+        # is distributional, not pointwise — adversarial groups exist where
+        # rounded averaging wins (e.g. [-1]*6 + [59, -59]) — so compare the
+        # mean error over an ensemble of Gaussian weight groups.
+        generator = np.random.default_rng(2024)
+        zps_errors, ra_errors = [], []
+        for _ in range(300):
+            group = np.clip(
+                np.round(generator.normal(0.0, 24.0, size=32)), -128, 127
+            ).astype(np.int64)
+            zps = zero_point_shift_group(group, 4)
+            ra = rounded_average_group(group, 4)
+            zps_errors.append(float(np.mean((zps.values - group) ** 2)))
+            ra_errors.append(float(np.mean((ra.values - group) ** 2)))
+        assert np.mean(zps_errors) <= np.mean(ra_errors) + 1e-9
 
 
 class TestStrategyComparison:
