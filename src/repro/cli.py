@@ -10,11 +10,11 @@ Examples::
 
     python -m repro.cli list
     python -m repro.cli figure3
-    python -m repro.cli figure12 --models ResNet-50 ViT-Small
+    python -m repro.cli figure12 --models ResNet-50 ViT-Small --jobs 4
     python -m repro.cli table5 --json
     python -m repro.cli ablations
-    python -m repro.cli all --fast
-    python -m repro.cli serve --port 8000 --workers 4
+    python -m repro.cli all --fast --jobs 4
+    python -m repro.cli serve --port 8000 --workers 4 --processes
 """
 
 from __future__ import annotations
@@ -54,11 +54,15 @@ EXPERIMENT_COMMANDS: dict[str, tuple[Callable[..., dict], bool]] = {
 }
 
 
-def run_experiment(name: str, models: list[str] | None = None, seed: int = 0) -> dict:
+def run_experiment(
+    name: str, models: list[str] | None = None, seed: int = 0, jobs: int = 1
+) -> dict:
     """Run one named experiment with only the kwargs its function accepts.
 
     The single entry point shared by the CLI commands and the service
     registry, so both produce byte-identical results for identical inputs.
+    ``jobs`` sets the process-pool width for the suite-driven experiments
+    (the accelerator sweeps of Figures 12-15); it never changes results.
     """
     function, takes_models = EXPERIMENT_COMMANDS[name]
     kwargs: dict = {}
@@ -67,7 +71,7 @@ def run_experiment(name: str, models: list[str] | None = None, seed: int = 0) ->
     if "seed" in function.__code__.co_varnames:
         kwargs["seed"] = seed
     if "suite" in function.__code__.co_varnames:
-        kwargs["suite"] = BenchmarkSuite(seed=seed)
+        kwargs["suite"] = BenchmarkSuite(seed=seed, jobs=jobs)
     return function(**kwargs)
 
 
@@ -85,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--models", nargs="+", choices=BENCHMARK_MODEL_NAMES, default=None)
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="process-pool width for accelerator sweeps (results unchanged)",
+        )
 
     ablation_parser = subparsers.add_parser("ablations", help="run the design-choice ablations")
     ablation_parser.add_argument("--seed", type=int, default=0)
@@ -94,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--fast", action="store_true", help="use reduced model subsets")
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+    all_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiments on a process pool of this width (results unchanged)",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="serve the experiment harness over HTTP (JSON API)"
@@ -101,6 +117,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8000)
     serve_parser.add_argument("--workers", type=int, default=2, help="worker threads")
+    serve_parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="run jobs on worker processes instead of threads "
+        "(sidesteps the GIL for compression-heavy jobs)",
+    )
     serve_parser.add_argument("--cache-size", type=int, default=256, help="in-memory LRU entries")
     serve_parser.add_argument(
         "--cache-dir", default=None, help="persist cached results to this directory"
@@ -111,7 +133,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _run_single(name: str, args: argparse.Namespace) -> int:
     start = time.perf_counter()
-    result = run_experiment(name, models=getattr(args, "models", None), seed=args.seed)
+    result = run_experiment(
+        name,
+        models=getattr(args, "models", None),
+        seed=args.seed,
+        jobs=getattr(args, "jobs", 1),
+    )
     elapsed = time.perf_counter() - start
     if args.json:
         print(json.dumps(json_payload(result), indent=2))
@@ -130,11 +157,13 @@ def _serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
+        use_processes=args.processes,
         verbose=args.verbose,
     )
     host, port = server.server_address[0], server.port
+    worker_kind = "processes" if args.processes else "threads"
     print(f"repro service listening on http://{host}:{port}")
-    print(f"  scenarios: {len(server.registry)}  workers: {args.workers}")
+    print(f"  scenarios: {len(server.registry)}  workers: {args.workers} {worker_kind}")
     print("  endpoints: /health /scenarios /jobs /cache/stats  (Ctrl-C to stop)")
     try:
         server.serve_forever()
@@ -168,7 +197,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "all":
-        results = experiments.run_all(fast=args.fast, seed=args.seed)
+        results = experiments.run_all(fast=args.fast, seed=args.seed, jobs=args.jobs)
         if args.json:
             print(json.dumps({name: json_payload(r) for name, r in results.items()}, indent=2))
         else:

@@ -18,6 +18,9 @@ This subpackage implements the paper's primary algorithmic contribution:
   pruning (Algorithm 2) with the paper's conservative/moderate presets.
 * :mod:`repro.core.hashing` — stable content digests of tensors and
   configurations (cache keys for the service layer).
+* :mod:`repro.core.cache` / :mod:`repro.core.memo` — content-hash LRU cache
+  and the process-wide artifact memo that deduplicates model synthesis and
+  layer compression across experiments.
 """
 
 from .bitplane import (
@@ -55,8 +58,10 @@ from .global_pruning import (
     global_binary_prune,
     select_sensitive_channels,
 )
+from .cache import CacheStats, ResultCache
 from .grouping import GroupedTensor, group_weights, ungroup_weights
 from .hashing import stable_digest, tensor_digest
+from .memo import ArtifactMemo, clear_memo, get_memo, memo_disabled, memo_stats
 from .metrics import (
     cosine_similarity,
     effective_bits,
@@ -77,7 +82,11 @@ from .sparsity import (
     sparsity_report,
     value_sparsity,
 )
-from .zero_point_shift import zero_point_shift_group, zero_point_shift_groups
+from .zero_point_shift import (
+    zero_point_shift_group,
+    zero_point_shift_groups,
+    zero_point_shift_groups_reference,
+)
 
 __all__ = [
     # bitplane
@@ -118,6 +127,14 @@ __all__ = [
     # hashing
     "stable_digest",
     "tensor_digest",
+    # caching / memoization
+    "ArtifactMemo",
+    "CacheStats",
+    "ResultCache",
+    "clear_memo",
+    "get_memo",
+    "memo_disabled",
+    "memo_stats",
     # metrics
     "cosine_similarity",
     "effective_bits",
@@ -140,4 +157,5 @@ __all__ = [
     "rounded_average_groups",
     "zero_point_shift_group",
     "zero_point_shift_groups",
+    "zero_point_shift_groups_reference",
 ]

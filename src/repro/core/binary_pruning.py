@@ -15,7 +15,7 @@ computation is exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -25,9 +25,10 @@ from .encoding import (
     METADATA_BITS,
     PrunedGroup,
     PruningStrategy,
-    group_storage_bits,
 )
 from .grouping import GroupedTensor, group_weights, ungroup_weights
+from .hashing import stable_digest
+from .memo import get_memo
 from .rounded_average import rounded_average_groups
 from .zero_point_shift import zero_point_shift_groups
 
@@ -88,15 +89,19 @@ class PrunedTensor:
 
     def storage_bits(self) -> int:
         """Total storage of the compressed matrix in bits (payload + metadata)."""
-        total = 0
         per_group_pruned = self.num_redundant + self.num_sparse
-        for channel in range(self.num_channels):
-            if self.pruned_channel_mask[channel]:
-                for pruned in per_group_pruned[channel]:
-                    total += group_storage_bits(self.group_size, int(pruned), self.bits)
-            else:
-                total += self.num_groups_per_channel * self.group_size * self.bits
-        return total
+        # Vectorized per-group form of :func:`group_storage_bits`: unpruned
+        # groups carry no metadata word.
+        per_group = np.where(
+            per_group_pruned > 0,
+            self.group_size * (self.bits - per_group_pruned) + METADATA_BITS,
+            self.group_size * self.bits,
+        )
+        dense_channel = self.num_groups_per_channel * self.group_size * self.bits
+        per_channel = np.where(
+            self.pruned_channel_mask, per_group.sum(axis=1), dense_channel
+        )
+        return int(per_channel.sum())
 
     def dense_storage_bits(self) -> int:
         """Storage of the uncompressed matrix in bits (grouped / padded layout)."""
@@ -212,9 +217,7 @@ def prune_tensor(
     if not np.issubdtype(weights.dtype, np.integer):
         raise TypeError("binary pruning operates on integer (quantized) weights")
 
-    grouped = group_weights(weights, group_size)
-    channels, num_groups, _ = grouped.groups.shape
-
+    channels = weights.shape[0]
     if sensitive_channels is None:
         sensitive = np.zeros(channels, dtype=bool)
     else:
@@ -223,6 +226,22 @@ def prune_tensor(
             raise ValueError(
                 f"sensitive_channels must have shape ({channels},), got {sensitive.shape}"
             )
+
+    # Content-hash memo: identical (weights, configuration) pairs are
+    # compressed once per process; ``keep_original`` is deliberately outside
+    # the key because it does not affect the compressed artifact.
+    memo = get_memo()
+    memo_key = None
+    if memo.enabled:
+        memo_key = stable_digest(
+            "prune_tensor", weights, num_columns, strategy, group_size, bits, sensitive
+        )
+        cached = memo.tensors.get(memo_key)
+        if cached is not None:
+            return _copy_pruned(cached, weights, keep_original)
+
+    grouped = group_weights(weights, group_size)
+    channels, num_groups, _ = grouped.groups.shape
 
     prune_mask = ~sensitive
     flat = grouped.groups.reshape(channels * num_groups, group_size).astype(np.int64)
@@ -258,7 +277,7 @@ def prune_tensor(
     )
     pruned_values = ungroup_weights(pruned_grouped)
 
-    return PrunedTensor(
+    result = PrunedTensor(
         values=pruned_values,
         strategy=strategy,
         num_columns=num_columns,
@@ -268,6 +287,26 @@ def prune_tensor(
         constants=constants.reshape(channels, num_groups),
         pruned_channel_mask=prune_mask,
         bits=bits,
+        original=weights.copy() if keep_original else None,
+    )
+    if memo_key is not None:
+        # Snapshot with private arrays and no original, so later mutation of
+        # the returned tensor cannot poison the memo.
+        memo.tensors.put(memo_key, _copy_pruned(result, weights, False))
+    return result
+
+
+def _copy_pruned(
+    pruned: PrunedTensor, weights: np.ndarray, keep_original: bool
+) -> PrunedTensor:
+    """Independent copy of a memoized :class:`PrunedTensor` (arrays included)."""
+    return replace(
+        pruned,
+        values=pruned.values.copy(),
+        num_redundant=pruned.num_redundant.copy(),
+        num_sparse=pruned.num_sparse.copy(),
+        constants=pruned.constants.copy(),
+        pruned_channel_mask=pruned.pruned_channel_mask.copy(),
         original=weights.copy() if keep_original else None,
     )
 

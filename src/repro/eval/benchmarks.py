@@ -5,10 +5,18 @@ shifting) preset are the expensive steps of the evaluation, so the suite
 caches both per ``(model, seed)`` and exposes factory helpers for the standard
 accelerator line-up of Figures 12/13.  Experiments and benchmarks construct
 one suite and share it.
+
+With ``jobs > 1`` the suite runs its accelerator sweeps on a process pool:
+the numpy-heavy compression inside each simulation is partly GIL-bound, so
+one ``(model, accelerator)`` simulation per task across processes scales with
+cores.  Workers rebuild an identical suite from :meth:`BenchmarkSuite.config`
+(results are deterministic in it) and lean on the per-process artifact memo
+(:mod:`repro.core.memo`) to synthesize/compress each model only once.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 
 from ..accelerators import (
@@ -77,6 +85,8 @@ class BenchmarkSuite:
     max_channels: int = 128
     max_reduction: int = 1024
     array: ArrayConfig = field(default_factory=ArrayConfig)
+    #: Process-pool width for :meth:`performances`; 1 means run in-process.
+    jobs: int = 1
     _weights: dict[str, dict[str, LayerWeights]] = field(default_factory=dict, repr=False)
     _models: dict[str, ModelSpec] = field(default_factory=dict, repr=False)
 
@@ -112,6 +122,60 @@ class BenchmarkSuite:
         """Stable hex digest of :meth:`config`."""
         return stable_digest("BenchmarkSuite", self.config())
 
+    def performances(
+        self, models: list[str], accelerators: list[str] | None = None
+    ) -> dict[str, dict[str, ModelPerformance]]:
+        """Run the accelerator line-up over ``models``.
+
+        Returns ``{model: {accelerator: ModelPerformance}}``.  With
+        ``jobs > 1`` each ``(model, accelerator)`` simulation becomes one
+        process-pool task; results are identical to the serial path because
+        every simulation is deterministic in the suite config.
+        """
+        accelerators = list(accelerators or ACCELERATOR_NAMES)
+        results: dict[str, dict[str, ModelPerformance]] = {
+            name: {} for name in models
+        }
+        if self.jobs > 1 and len(models) * len(accelerators) > 1:
+            # Model-major task chunks: each task simulates one model on a
+            # slice of the accelerator line-up, with just enough slices per
+            # model to occupy the pool.  Coarser than one task per (model,
+            # accelerator) pair so a model's synthesis + compression is
+            # repeated in as few worker memos as possible, finer than one
+            # task per model so a single-model sweep still parallelizes.
+            slices_per_model = max(
+                1, min(len(accelerators), -(-self.jobs // len(models)))
+            )
+            bounds = [
+                round(index * len(accelerators) / slices_per_model)
+                for index in range(slices_per_model + 1)
+            ]
+            config = self.config()
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [
+                    (
+                        model_name,
+                        pool.submit(
+                            _simulate_task, config, model_name, accelerators[lo:hi]
+                        ),
+                    )
+                    for model_name in models
+                    for lo, hi in zip(bounds, bounds[1:])
+                    if hi > lo
+                ]
+                for model_name, future in futures:
+                    results[model_name].update(future.result())
+            return results
+        for model_name in models:
+            model = self.model(model_name)
+            weights = self.weights(model_name)
+            instances = self.accelerators()
+            for accel_name in accelerators:
+                results[model_name][accel_name] = instances[accel_name].run_model(
+                    model, weights
+                )
+        return results
+
     def accelerators(self, array: ArrayConfig | None = None) -> dict[str, object]:
         """The standard accelerator line-up (fresh instances, shared geometry)."""
         array = array or self.array
@@ -127,6 +191,24 @@ class BenchmarkSuite:
             ),
             "BitVert (moderate)": BitVertAccelerator(preset=MODERATE_PRESET, array=array),
         }
+
+
+def _simulate_task(
+    config: dict, model_name: str, accel_names: list[str]
+) -> dict[str, ModelPerformance]:
+    """Process-pool worker: some accelerators on one model, from a suite config."""
+    suite = BenchmarkSuite(
+        seed=config["seed"],
+        max_channels=config["max_channels"],
+        max_reduction=config["max_reduction"],
+        array=ArrayConfig(**config["array"]),
+    )
+    model = suite.model(model_name)
+    weights = suite.weights(model_name)
+    instances = suite.accelerators()
+    return {
+        name: instances[name].run_model(model, weights) for name in accel_names
+    }
 
 
 def performance_summary(performance: ModelPerformance) -> dict:

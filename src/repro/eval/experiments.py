@@ -85,6 +85,8 @@ __all__ = [
     "table6_olive_pe",
     "json_payload",
     "run_all",
+    "run_all_parallel",
+    "SUITE_TASKS",
 ]
 
 
@@ -534,18 +536,13 @@ def table3_ptq_comparison(seed: int = 0) -> dict:
 def _run_suite(
     suite: BenchmarkSuite, models: list[str], accelerators: list[str] | None = None
 ) -> dict[str, dict[str, ModelPerformance]]:
-    """Run the accelerator line-up over the requested models."""
-    accelerators = accelerators or ACCELERATOR_NAMES
-    results: dict[str, dict[str, ModelPerformance]] = {}
-    for model_name in models:
-        model = suite.model(model_name)
-        weights = suite.weights(model_name)
-        per_model: dict[str, ModelPerformance] = {}
-        instances = suite.accelerators()
-        for accel_name in accelerators:
-            per_model[accel_name] = instances[accel_name].run_model(model, weights)
-        results[model_name] = per_model
-    return results
+    """Run the accelerator line-up over the requested models.
+
+    Delegates to :meth:`BenchmarkSuite.performances`, which fans the
+    ``(model, accelerator)`` simulations out over a process pool when the
+    suite was built with ``jobs > 1``.
+    """
+    return suite.performances(models, accelerators)
 
 
 def figure12_speedup(
@@ -888,14 +885,20 @@ def table6_olive_pe() -> dict:
 # --------------------------------------------------------------------------- #
 
 
-def run_all(fast: bool = True, seed: int = 0) -> dict[str, dict]:
+def run_all(fast: bool = True, seed: int = 0, jobs: int = 1) -> dict[str, dict]:
     """Run every experiment and return their results keyed by experiment name.
 
     ``fast`` restricts the accelerator sweeps to a representative model subset
     so the whole paper reproduction completes in a few minutes; the full
     seven-model sweep is what the benchmark harness under ``benchmarks/``
     executes.
+
+    ``jobs > 1`` fans the experiments out over a process pool (see
+    :func:`run_all_parallel`); note that the parallel path returns the
+    strictly-JSON payloads rather than the rich in-process result objects.
     """
+    if jobs > 1:
+        return run_all_parallel(fast=fast, seed=seed, jobs=jobs)
     suite = BenchmarkSuite(seed=seed)
     sweep_models = ["ResNet-50", "ViT-Small", "BERT-MRPC"] if fast else BENCHMARK_MODEL_NAMES
     accuracy_models = ["ResNet-34", "ViT-Base"] if fast else None
@@ -918,4 +921,105 @@ def run_all(fast: bool = True, seed: int = 0) -> dict[str, dict]:
     results["figure16"] = figure16_pareto(seed, suite=suite)
     results["figure17"] = figure17_llm(seed)
     results["table6"] = table6_olive_pe()
+    return results
+
+
+#: One process-pool task per entry; figure12/figure13 stay paired so the
+#: energy figure reuses the speedup figure's accelerator results, exactly as
+#: the serial driver does.
+SUITE_TASKS = [
+    "figure1",
+    "figure3",
+    "figure6",
+    "table1",
+    "figure11",
+    "table2",
+    "table3",
+    "figure12+figure13",
+    "figure14",
+    "figure15",
+    "table4",
+    "table5",
+    "figure16",
+    "figure17",
+    "table6",
+]
+
+#: Submission order for the pool: heaviest tasks first so the tail of the
+#: schedule is short cheap tasks instead of one long straggler.
+_TASK_SUBMIT_ORDER = [
+    "figure12+figure13",
+    "figure11",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure6",
+    "figure17",
+    "figure3",
+    "table2",
+    "table3",
+    "figure1",
+    "table1",
+    "table4",
+    "table5",
+    "table6",
+]
+
+
+def _run_suite_task(task: str, fast: bool, seed: int) -> dict[str, dict]:
+    """Run one :data:`SUITE_TASKS` entry standalone; returns JSON payloads.
+
+    Used as the process-pool worker of :func:`run_all_parallel` (and runnable
+    in-process): everything it needs travels as three picklable scalars, and
+    everything it returns is strict JSON.
+    """
+    suite = BenchmarkSuite(seed=seed)
+    sweep_models = ["ResNet-50", "ViT-Small", "BERT-MRPC"] if fast else BENCHMARK_MODEL_NAMES
+    accuracy_models = ["ResNet-34", "ViT-Base"] if fast else None
+    if task == "figure12+figure13":
+        fig12 = figure12_speedup(models=sweep_models, suite=suite)
+        fig13 = figure13_energy(models=sweep_models, suite=suite, results=fig12["results"])
+        return {"figure12": json_payload(fig12), "figure13": json_payload(fig13)}
+    runners = {
+        "figure1": lambda: figure1_motivation(seed),
+        "figure3": lambda: figure3_sparsity_comparison(seed=seed),
+        "figure6": lambda: figure6_kl_divergence(seed),
+        "table1": table1_models,
+        "figure11": lambda: figure11_accuracy(models=accuracy_models, seed=seed),
+        "table2": lambda: table2_ant_comparison(seed),
+        "table3": lambda: table3_ptq_comparison(seed),
+        "figure14": lambda: figure14_load_balance(suite=suite),
+        "figure15": lambda: figure15_stall_breakdown(suite=suite),
+        "table4": table4_pe_design_space,
+        "table5": table5_pe_comparison,
+        "figure16": lambda: figure16_pareto(seed, suite=suite),
+        "figure17": lambda: figure17_llm(seed),
+        "table6": table6_olive_pe,
+    }
+    return {task: json_payload(runners[task]())}
+
+
+def run_all_parallel(fast: bool = True, seed: int = 0, jobs: int = 2) -> dict[str, dict]:
+    """Run every experiment across a process pool (``repro all --jobs N``).
+
+    Results are keyed and ordered like :func:`run_all` but hold the
+    strictly-JSON payloads (the same dicts the service caches and ships),
+    since rich result objects are wasteful to pickle back from workers.
+    Numbers are identical to the serial driver's payloads: every experiment
+    is deterministic in ``(fast, seed)``.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads: dict[str, dict[str, dict]] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            task: pool.submit(_run_suite_task, task, fast, seed)
+            for task in _TASK_SUBMIT_ORDER
+        }
+        for task, future in futures.items():
+            payloads[task] = future.result()
+
+    results: dict[str, dict] = {}
+    for task in SUITE_TASKS:
+        results.update(payloads[task])
     return results

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .model_zoo import Conv2dSpec, LayerSpec, LinearSpec, ModelSpec
+from ..core.hashing import stable_digest
+from ..core.memo import get_memo
 from ..quant.ptq import QuantizedTensor, quantize_per_channel
 
 __all__ = [
@@ -204,7 +206,21 @@ def synthesize_model(
     Returns a dict keyed by layer name, in the model's layer order.  The seed
     is derived per layer so adding or removing layers does not reshuffle the
     weights of the others.
+
+    Generation is deterministic in its arguments, so results are memoized
+    process-wide (see :mod:`repro.core.memo`): the same model/seed/caps
+    combination is synthesized once no matter how many experiments ask for it.
     """
+    memo = get_memo()
+    memo_key = None
+    if memo.enabled:
+        memo_key = stable_digest(
+            "synthesize_model", model, seed, stats, max_channels, max_reduction, group_size
+        )
+        cached = memo.models.get(memo_key)
+        if cached is not None:
+            return dict(cached)
+
     weights: dict[str, LayerWeights] = {}
     for index, layer in enumerate(model.layers):
         rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
@@ -217,6 +233,8 @@ def synthesize_model(
             max_reduction=max_reduction,
             group_size=group_size,
         )
+    if memo_key is not None:
+        memo.models.put(memo_key, dict(weights))
     return weights
 
 

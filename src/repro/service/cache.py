@@ -1,179 +1,13 @@
-"""Content-hash result cache: in-memory LRU with optional on-disk persistence.
+"""Service-layer re-export of the content-hash result cache.
 
-Keys are stable digests of a job's inputs (see :mod:`repro.core.hashing`), so
-a repeated compression/experiment request is a dictionary lookup instead of a
-recomputation.  Values must be JSON-serializable when a persistence directory
-is configured; the worker pool guarantees this by caching only the registry's
-JSON payloads.
-
-The cache is thread-safe: the HTTP server handles each request on its own
-thread and the worker pool stores results from worker threads.
+The implementation moved to :mod:`repro.core.cache` so the in-process
+artifact memo (:mod:`repro.core.memo`) can reuse it without the core layer
+depending on the service layer; this module keeps the historical import path
+working for service code and its tests.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-import threading
-from collections import OrderedDict
-from pathlib import Path
-from typing import Any
+from ..core.cache import CacheStats, ResultCache
 
 __all__ = ["CacheStats", "ResultCache"]
-
-
-class CacheStats:
-    """Mutable hit/miss/eviction counters, exported as a dict for the API."""
-
-    __slots__ = ("hits", "misses", "evictions", "stores", "disk_hits")
-
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.stores = 0
-        self.disk_hits = 0
-
-    def as_dict(self) -> dict:
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "stores": self.stores,
-            "disk_hits": self.disk_hits,
-            "hit_rate": self.hits / total if total else 0.0,
-        }
-
-
-class ResultCache:
-    """LRU mapping of content digests to job results.
-
-    Parameters
-    ----------
-    max_entries:
-        In-memory capacity; the least-recently-used entry is evicted first.
-        Evicted entries remain recoverable from disk when ``directory`` is set.
-    directory:
-        Optional persistence directory.  Every stored value is also written to
-        ``<directory>/<key>.json`` (atomically, via rename), and misses fall
-        back to disk — so a restarted service keeps its warmed cache.
-    """
-
-    def __init__(self, max_entries: int = 256, directory: str | os.PathLike | None = None):
-        if max_entries <= 0:
-            raise ValueError("max_entries must be positive")
-        self.max_entries = max_entries
-        self._entries: OrderedDict[str, Any] = OrderedDict()
-        self._lock = threading.RLock()
-        self._stats = CacheStats()
-        self._directory = Path(directory) if directory is not None else None
-        if self._directory is not None:
-            self._directory.mkdir(parents=True, exist_ok=True)
-
-    # ------------------------------------------------------------------ #
-    # Lookup / store
-    # ------------------------------------------------------------------ #
-
-    def get(self, key: str, default: Any = None) -> Any:
-        """Return the cached value for ``key`` (LRU-refreshing), else ``default``."""
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._stats.hits += 1
-                return self._entries[key]
-        # Disk fallback outside the lock: file I/O must not serialize every
-        # concurrent cache access across worker and handler threads.
-        value = self._load_from_disk(key)
-        with self._lock:
-            if key in self._entries:  # raced with a concurrent put/get
-                self._entries.move_to_end(key)
-                self._stats.hits += 1
-                return self._entries[key]
-            if value is not None:
-                self._insert(key)
-                self._entries[key] = value
-                self._stats.hits += 1
-                self._stats.disk_hits += 1
-                return value
-            self._stats.misses += 1
-            return default
-
-    def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key``, evicting LRU entries beyond capacity."""
-        with self._lock:
-            self._insert(key)
-            self._entries[key] = value
-            self._stats.stores += 1
-        if self._directory is not None:
-            # Written outside the lock; the tmp-file + rename keeps each key's
-            # file atomic, and concurrent writers of the same key write equal
-            # content (keys are content digests).
-            self._write_to_disk(key, value)
-
-    def _insert(self, key: str) -> None:
-        """Reserve a slot for ``key``: refresh if present, else evict to fit."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return
-        while len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
-            self._stats.evictions += 1
-
-    # ------------------------------------------------------------------ #
-    # Disk persistence
-    # ------------------------------------------------------------------ #
-
-    def _path(self, key: str) -> Path:
-        assert self._directory is not None
-        return self._directory / f"{key}.json"
-
-    def _write_to_disk(self, key: str, value: Any) -> None:
-        path = self._path(key)
-        # Unique tmp file per writer: concurrent stores of the same key must
-        # not interleave into one tmp file before the atomic rename.
-        with tempfile.NamedTemporaryFile(
-            "w", dir=path.parent, prefix=f".{key}.", suffix=".tmp", delete=False
-        ) as handle:
-            json.dump(value, handle, allow_nan=False)
-        os.replace(handle.name, path)
-
-    def _load_from_disk(self, key: str) -> Any:
-        if self._directory is None:
-            return None
-        path = self._path(key)
-        if not path.exists():
-            return None
-        try:
-            with path.open() as handle:
-                return json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-
-    # ------------------------------------------------------------------ #
-    # Introspection
-    # ------------------------------------------------------------------ #
-
-    def stats(self) -> dict:
-        with self._lock:
-            return {
-                "entries": len(self._entries),
-                "max_entries": self.max_entries,
-                "persistent": self._directory is not None,
-                **self._stats.as_dict(),
-            }
-
-    def clear(self) -> None:
-        """Drop the in-memory entries (persisted files are left in place)."""
-        with self._lock:
-            self._entries.clear()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key: str) -> bool:
-        """Membership check without touching LRU order or counters."""
-        with self._lock:
-            return key in self._entries

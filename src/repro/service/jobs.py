@@ -66,6 +66,21 @@ class Job:
         self._started_pc = time.perf_counter()
         self.queue_seconds = self._started_pc - self._submitted_pc
 
+    def backfill_running(self, run_seconds: float) -> None:
+        """Retroactively record a remote execution window.
+
+        Process-pool workers run the job body in another process, where this
+        object does not exist; the worker measures its own run duration and
+        the completion callback replays it here just before ``mark_done`` /
+        ``mark_failed``, so ``queue_seconds``/``run_seconds`` stay accurate
+        (the job reads as QUEUED while remotely executing).
+        """
+        now_pc = time.perf_counter()
+        self.state = JobState.RUNNING
+        self._started_pc = now_pc - run_seconds
+        self.started_at = time.time() - run_seconds
+        self.queue_seconds = max(self._started_pc - self._submitted_pc, 0.0)
+
     def mark_done(self, result: Any, cache_hit: bool = False) -> None:
         self.result = result
         self.cache_hit = cache_hit

@@ -172,11 +172,14 @@ class ReproServer(ThreadingHTTPServer):
         registry: ScenarioRegistry,
         cache: ResultCache,
         max_workers: int = 2,
+        use_processes: bool = False,
         verbose: bool = False,
     ):
         super().__init__(address, _RequestHandler)
         self.registry = registry
-        self.pool = WorkerPool(registry, cache=cache, max_workers=max_workers)
+        self.pool = WorkerPool(
+            registry, cache=cache, max_workers=max_workers, use_processes=use_processes
+        )
         self.started_at = time.time()
         self.verbose = verbose
 
@@ -203,11 +206,25 @@ def create_server(
     max_workers: int = 2,
     cache_size: int = 256,
     cache_dir: str | None = None,
+    use_processes: bool = False,
     verbose: bool = False,
 ) -> ReproServer:
-    """Build a ready-to-serve :class:`ReproServer` (``port=0`` -> ephemeral)."""
+    """Build a ready-to-serve :class:`ReproServer` (``port=0`` -> ephemeral).
+
+    ``use_processes=True`` runs jobs on worker processes (the compression
+    workloads are partly GIL-bound); process workers rebuild the *default*
+    registry, so combine it with a custom ``registry`` only if that registry
+    is the default one.
+    """
     if registry is None:
         registry = build_default_registry()
     if cache is None:
         cache = ResultCache(max_entries=cache_size, directory=cache_dir)
-    return ReproServer((host, port), registry, cache, max_workers=max_workers, verbose=verbose)
+    return ReproServer(
+        (host, port),
+        registry,
+        cache,
+        max_workers=max_workers,
+        use_processes=use_processes,
+        verbose=verbose,
+    )

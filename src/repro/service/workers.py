@@ -1,4 +1,5 @@
-"""Worker pool: executes registry jobs on threads with caching and dedup.
+"""Worker pool: executes registry jobs on threads or processes, with caching
+and dedup.
 
 Submission path (all under one lock, so concurrent clients agree):
 
@@ -6,18 +7,27 @@ Submission path (all under one lock, so concurrent clients agree):
 2. cache hit -> a job that is born ``done`` with ``cache_hit=True``;
 3. an identical job already queued/running -> return *that* job (in-flight
    deduplication: concurrent clients share one computation);
-4. otherwise enqueue a fresh job on the ``ThreadPoolExecutor``.
+4. otherwise enqueue a fresh job on the executor.
 
 Results are cached only on success; failures capture the traceback on the job
-and are re-runnable.  Threads (not processes) are the right pool here: the
-experiment workloads spend their time inside numpy, which releases the GIL.
+and are re-runnable.  Threads are the default: numpy releases the GIL for its
+heavy kernels.  But the compression workloads also spend real time in Python
+glue (grouping, scheduling, reporting), so ``use_processes=True`` swaps in a
+``ProcessPoolExecutor``.  Worker processes rebuild the *default* registry on
+first use and benefit from their own artifact memo (:mod:`repro.core.memo`);
+a registry with job types outside the default set is rejected at
+construction because the processes could not run them.  A process-mode job
+reads as QUEUED until it completes (the parent cannot observe the remote
+start), but its ``queue_seconds``/``run_seconds`` are accurate: the worker
+measures its own run time and the completion callback backfills it.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import traceback
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..core.hashing import stable_digest
 from .cache import ResultCache
@@ -32,8 +42,28 @@ def job_digest(job_type: str, params: dict) -> str:
     return stable_digest("repro-job", job_type, params)
 
 
+#: Lazily-built default registry of a worker process (one per process).
+_process_registry: ScenarioRegistry | None = None
+
+
+def _process_run(job_type: str, params: dict):
+    """Process-pool worker: run one job against the default registry.
+
+    Returns ``(run_seconds, result)`` — the worker's own wall-clock
+    measurement travels back so the parent can backfill accurate timing.
+    """
+    global _process_registry
+    if _process_registry is None:
+        from .registry import build_default_registry
+
+        _process_registry = build_default_registry()
+    start = time.perf_counter()
+    result = _process_registry.run(job_type, params)
+    return time.perf_counter() - start, result
+
+
 class WorkerPool:
-    """Thread pool executing registry jobs with result caching and dedup."""
+    """Thread/process pool executing registry jobs with caching and dedup."""
 
     def __init__(
         self,
@@ -41,13 +71,28 @@ class WorkerPool:
         cache: ResultCache | None = None,
         max_workers: int = 2,
         store: JobStore | None = None,
+        use_processes: bool = False,
     ):
         self.registry = registry
         self.cache = cache if cache is not None else ResultCache()
         self.store = store if store is not None else JobStore()
-        self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-worker"
-        )
+        self.use_processes = use_processes
+        if use_processes:
+            from .registry import build_default_registry
+
+            unknown = set(registry.names()) - set(build_default_registry().names())
+            if unknown:
+                raise ValueError(
+                    "use_processes=True supports only default-registry job "
+                    f"types; unknown in worker processes: {sorted(unknown)}"
+                )
+            self._executor: ProcessPoolExecutor | ThreadPoolExecutor = (
+                ProcessPoolExecutor(max_workers=max_workers)
+            )
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-worker"
+            )
         self.max_workers = max_workers
         self._lock = threading.Lock()
         self._inflight: dict[str, str] = {}  # digest -> job_id
@@ -84,7 +129,15 @@ class WorkerPool:
             job = self.store.create(job_type, params, digest)
             self._inflight[digest] = job.job_id
             self._submitted += 1
-        self._executor.submit(self._execute, job)
+        if self.use_processes:
+            # The job body runs in another process; bookkeeping happens here
+            # via the future's completion callback (an executor thread).
+            future = self._executor.submit(_process_run, job.job_type, job.params)
+            future.add_done_callback(
+                lambda fut, job=job: self._finish_process_job(job, fut)
+            )
+        else:
+            self._executor.submit(self._execute, job)
         return job
 
     def run(self, job_type: str, params: dict | None = None, timeout: float | None = None) -> Job:
@@ -108,6 +161,19 @@ class WorkerPool:
             with self._lock:
                 self._inflight.pop(job.digest, None)
 
+    def _finish_process_job(self, job: Job, future: Future) -> None:
+        """Completion callback for process-mode jobs (runs on an executor thread)."""
+        try:
+            run_seconds, result = future.result()
+            job.backfill_running(run_seconds)
+            self.cache.put(job.digest, result)
+            job.mark_done(result)
+        except Exception:
+            job.mark_failed(traceback.format_exc())
+        finally:
+            with self._lock:
+                self._inflight.pop(job.digest, None)
+
     # ------------------------------------------------------------------ #
     # Introspection / shutdown
     # ------------------------------------------------------------------ #
@@ -122,6 +188,7 @@ class WorkerPool:
             inflight = len(self._inflight)
         return {
             "workers": self.max_workers,
+            "worker_kind": "process" if self.use_processes else "thread",
             "executed": submitted,
             "cache_hits": cache_hits,
             "dedup_hits": dedup_hits,

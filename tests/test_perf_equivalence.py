@@ -1,0 +1,238 @@
+"""Golden-equivalence tests for the performance work of PR 2.
+
+The batched zero-point search and the artifact memo are pure optimizations:
+they must return *bit-identical* results to the original implementations.
+These tests pin that property across random shapes, pruning budgets, word
+widths, and degenerate inputs, using the kept reference implementation
+(:func:`repro.core.zero_point_shift.zero_point_shift_groups_reference`) as
+the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PruningStrategy,
+    clear_memo,
+    get_memo,
+    memo_disabled,
+    memo_stats,
+    prune_tensor,
+)
+from repro.core.zero_point_shift import (
+    zero_point_shift_groups,
+    zero_point_shift_groups_reference,
+)
+from repro.nn.model_zoo import get_model
+from repro.nn.synthetic import synthesize_model
+
+
+def assert_search_matches(groups: np.ndarray, num_columns: int, bits: int = 8) -> None:
+    reference = zero_point_shift_groups_reference(groups, num_columns, bits=bits)
+    fast = zero_point_shift_groups(groups, num_columns, bits=bits)
+    for name, ref, new in zip(
+        ("values", "num_redundant", "num_sparse", "constants"), reference, fast
+    ):
+        assert new.dtype == ref.dtype, name
+        assert np.array_equal(new, ref), f"{name} diverged from the reference"
+
+
+@st.composite
+def int8_group_matrices(draw) -> np.ndarray:
+    num_groups = draw(st.integers(1, 12))
+    group_size = draw(st.integers(1, 24))
+    flat = draw(
+        st.lists(
+            st.integers(-128, 127),
+            min_size=num_groups * group_size,
+            max_size=num_groups * group_size,
+        )
+    )
+    return np.array(flat, dtype=np.int64).reshape(num_groups, group_size)
+
+
+class TestZeroPointShiftEquivalence:
+    @given(int8_group_matrices(), st.integers(0, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_property_bit_identical_int8(self, groups, num_columns):
+        assert_search_matches(groups, num_columns)
+
+    @given(
+        st.integers(5, 12),
+        st.integers(0, 6),
+        st.integers(1, 24),
+        st.integers(1, 48),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bit_identical_word_widths(
+        self, bits, num_columns, num_groups, group_size, seed
+    ):
+        hi = (1 << (bits - 1)) - 1
+        rng = np.random.default_rng(seed)
+        groups = rng.integers(-hi - 1, hi + 1, size=(num_groups, group_size))
+        assert_search_matches(groups, num_columns, bits=bits)
+
+    @pytest.mark.parametrize("sigma", [2.0, 24.0, 60.0])
+    @pytest.mark.parametrize("num_columns", [1, 2, 4, 6])
+    def test_gaussian_layers_bit_identical(self, sigma, num_columns):
+        rng = np.random.default_rng(7)
+        groups = np.clip(
+            np.round(rng.normal(0, sigma, (512, 32))), -128, 127
+        ).astype(np.int64)
+        assert_search_matches(groups, num_columns)
+
+    def test_saturated_and_constant_groups(self):
+        groups = np.array(
+            [
+                [127] * 8,
+                [-128] * 8,
+                [-128, 127] * 4,
+                [0] * 8,
+                [-1] * 8,
+                [64] * 8,
+                [-1, -1, -1, -1, -1, -1, 59, -59],
+            ],
+            dtype=np.int64,
+        )
+        for num_columns in range(7):
+            assert_search_matches(groups, num_columns)
+
+    def test_out_of_word_range_inputs_fall_back_to_reference(self):
+        # Garbage inputs (values beyond the declared word width) take the
+        # reference path outright, so equivalence is preserved there too.
+        groups = np.array([[300, -400, 5, 7]], dtype=np.int64)
+        assert_search_matches(groups, 4)
+
+    def test_empty_inputs(self):
+        assert_search_matches(np.empty((0, 8), dtype=np.int64), 4)
+
+    def test_big_layer_bit_identical_across_group_blocks(self):
+        # Exceeds one group block so the chunked block loop is exercised.
+        rng = np.random.default_rng(3)
+        groups = np.clip(
+            np.round(rng.normal(0, 24, (9000, 32))), -128, 127
+        ).astype(np.int64)
+        assert_search_matches(groups, 4)
+
+
+class TestMemoizedCompressionEquivalence:
+    @given(
+        st.integers(1, 6),
+        st.sampled_from([PruningStrategy.ROUNDED_AVERAGE, PruningStrategy.ZERO_POINT_SHIFT]),
+        st.integers(4, 48),
+        st.integers(8, 80),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_memoized_prune_tensor_bit_identical(
+        self, num_columns, strategy, channels, reduction, seed
+    ):
+        rng = np.random.default_rng(seed)
+        weights = np.clip(
+            np.round(rng.normal(0, 24, (channels, reduction))), -128, 127
+        ).astype(np.int64)
+        sensitive = rng.random(channels) < 0.2
+
+        with memo_disabled():
+            cold = prune_tensor(
+                weights, num_columns, strategy, group_size=16, sensitive_channels=sensitive
+            )
+        clear_memo()
+        first = prune_tensor(
+            weights, num_columns, strategy, group_size=16, sensitive_channels=sensitive
+        )
+        hit = prune_tensor(
+            weights, num_columns, strategy, group_size=16, sensitive_channels=sensitive
+        )
+        for result in (first, hit):
+            assert np.array_equal(result.values, cold.values)
+            assert np.array_equal(result.num_redundant, cold.num_redundant)
+            assert np.array_equal(result.num_sparse, cold.num_sparse)
+            assert np.array_equal(result.constants, cold.constants)
+            assert np.array_equal(result.pruned_channel_mask, cold.pruned_channel_mask)
+            assert np.array_equal(result.original, weights)
+        assert result.storage_bits() == cold.storage_bits()
+
+    def test_hit_returns_private_arrays(self):
+        clear_memo()
+        weights = np.arange(-64, 64, dtype=np.int64).reshape(4, 32)
+        first = prune_tensor(weights, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        hit = prune_tensor(weights, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        assert hit.values is not first.values
+        hit.values[:] = 0  # mutating a hit must not poison the memo
+        again = prune_tensor(weights, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        assert np.array_equal(again.values, first.values)
+
+    def test_keep_original_outside_the_key(self):
+        clear_memo()
+        weights = np.arange(-64, 64, dtype=np.int64).reshape(4, 32)
+        with_original = prune_tensor(weights, 2, PruningStrategy.ROUNDED_AVERAGE)
+        without = prune_tensor(
+            weights, 2, PruningStrategy.ROUNDED_AVERAGE, keep_original=False
+        )
+        assert memo_stats()["tensors"]["hits"] >= 1
+        assert without.original is None
+        assert np.array_equal(with_original.original, weights)
+        assert np.array_equal(with_original.values, without.values)
+
+    def test_distinct_configurations_do_not_collide(self):
+        clear_memo()
+        weights = np.arange(-64, 64, dtype=np.int64).reshape(4, 32)
+        a = prune_tensor(weights, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        b = prune_tensor(weights, 2, PruningStrategy.ZERO_POINT_SHIFT)
+        c = prune_tensor(weights, 4, PruningStrategy.ROUNDED_AVERAGE)
+        d = prune_tensor(weights * 0 + 1, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        assert memo_stats()["tensors"]["hits"] == 0
+        assert memo_stats()["tensors"]["misses"] == 4
+        assert not np.array_equal(a.values, b.values) or not np.array_equal(
+            b.values, c.values
+        )
+        del d
+
+
+class TestCrossExperimentMemoization:
+    def test_shared_model_compressed_exactly_once(self):
+        """Two experiment passes over the same model synthesize and compress
+        each distinct layer exactly once (the PR's acceptance criterion)."""
+        from repro.core.global_pruning import MODERATE_PRESET, global_binary_prune
+
+        clear_memo()
+        model = get_model("ResNet-34")
+
+        def one_experiment_pass():
+            weights = synthesize_model(model, seed=0, max_channels=48, max_reduction=192)
+            layer_ints = {name: lw.int_weights for name, lw in weights.items()}
+            scores = {name: lw.channel_scores for name, lw in weights.items()}
+            return global_binary_prune(layer_ints, scores, preset=MODERATE_PRESET)
+
+        first = one_experiment_pass()
+        after_first = memo_stats()
+        second = one_experiment_pass()
+        after_second = memo_stats()
+
+        num_layers = len(first.pruned_layers)
+        # Pass 1: every layer is a miss.  Pass 2: every layer is a hit, and
+        # not a single new compression or synthesis happens.
+        assert after_first["tensors"]["misses"] == num_layers
+        assert after_second["tensors"]["misses"] == num_layers
+        assert after_second["tensors"]["hits"] == num_layers
+        assert after_second["models"]["hits"] == 1
+        for name in first.pruned_layers:
+            assert np.array_equal(
+                first.pruned_layers[name].values, second.pruned_layers[name].values
+            )
+
+    def test_memo_disabled_recomputes(self):
+        clear_memo()
+        weights = np.arange(-64, 64, dtype=np.int64).reshape(4, 32)
+        with memo_disabled():
+            prune_tensor(weights, 4, PruningStrategy.ZERO_POINT_SHIFT)
+            prune_tensor(weights, 4, PruningStrategy.ZERO_POINT_SHIFT)
+        stats = memo_stats()["tensors"]
+        assert stats["hits"] == 0 and stats["misses"] == 0 and stats["stores"] == 0
+        assert get_memo().enabled  # the context manager restored the flag
