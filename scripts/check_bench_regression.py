@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare fresh pytest-benchmark JSON to a baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_kernels.json --current bench_current.json \
+        [--tolerance 0.40] [--json gate_report.json]
+
+Benchmarks are matched by name; for every matched benchmark the gate compares
+the fresh ``stats.mean`` against the baseline's and **fails (exit 1) when any
+matched benchmark regressed beyond the tolerance** — the default 40% absorbs
+shared-runner noise while still catching order-of-magnitude slips like losing
+the batched zero-point search or the artifact memo.  Benchmarks present on
+only one side are reported but never fail the gate (new benchmarks land
+without a baseline first; refresh the baseline to adopt them).
+
+To refresh the baseline after an intentional perf change::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=BENCH_kernels.json
+
+and commit the regenerated ``BENCH_kernels.json``.
+
+Only the Python stdlib is used, so the gate runs anywhere the suite runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: benchmark file not found: {path}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"error: {path} is not valid JSON: {error}")
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        sys.exit(f"error: {path} has no 'benchmarks' list (not pytest-benchmark JSON?)")
+    means: dict[str, float] = {}
+    for bench in benchmarks:
+        name = bench.get("name")
+        mean = bench.get("stats", {}).get("mean")
+        if isinstance(name, str) and isinstance(mean, (int, float)) and mean > 0:
+            means[name] = float(mean)
+    if not means:
+        sys.exit(f"error: {path} contains no usable benchmark means")
+    return means
+
+
+def compare(
+    baseline: dict[str, float], current: dict[str, float], tolerance: float
+) -> dict:
+    """Build the gate verdict: per-benchmark ratios and the failing subset."""
+    rows = []
+    for name in sorted(set(baseline) & set(current)):
+        ratio = current[name] / baseline[name]
+        rows.append(
+            {
+                "name": name,
+                "baseline_mean_s": baseline[name],
+                "current_mean_s": current[name],
+                "ratio": ratio,
+                "regressed": ratio > 1.0 + tolerance,
+            }
+        )
+    return {
+        "tolerance": tolerance,
+        "matched": len(rows),
+        "only_in_baseline": sorted(set(baseline) - set(current)),
+        "only_in_current": sorted(set(current) - set(baseline)),
+        "regressions": [row for row in rows if row["regressed"]],
+        "rows": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_kernels.json",
+        type=Path,
+        help="committed pytest-benchmark JSON baseline",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        type=Path,
+        help="freshly generated pytest-benchmark JSON",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.40,
+        help="allowed fractional mean increase before failing (default 0.40 = +40%%)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the full verdict as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    verdict = compare(load_means(args.baseline), load_means(args.current), args.tolerance)
+    if args.json:
+        args.json.write_text(json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+
+    name_width = max((len(row["name"]) for row in verdict["rows"]), default=4)
+    print(f"{'benchmark':<{name_width}} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for row in verdict["rows"]:
+        flag = "  << REGRESSED" if row["regressed"] else ""
+        print(
+            f"{row['name']:<{name_width}} "
+            f"{row['baseline_mean_s'] * 1000:>10.2f}ms "
+            f"{row['current_mean_s'] * 1000:>10.2f}ms "
+            f"{row['ratio']:>7.2f}x{flag}"
+        )
+    for name in verdict["only_in_baseline"]:
+        print(f"note: {name!r} is in the baseline but was not run (skipped benchmark?)")
+    for name in verdict["only_in_current"]:
+        print(f"note: {name!r} has no baseline entry (refresh BENCH_kernels.json to adopt)")
+
+    if verdict["matched"] == 0:
+        print("error: no benchmark names matched between baseline and current run")
+        return 1
+    if verdict["regressions"]:
+        print(
+            f"\nFAIL: {len(verdict['regressions'])} of {verdict['matched']} matched "
+            f"benchmark(s) regressed beyond +{args.tolerance:.0%} "
+            "(see scripts/check_bench_regression.py --help to refresh the baseline)"
+        )
+        return 1
+    print(
+        f"\nOK: {verdict['matched']} matched benchmark(s) within +{args.tolerance:.0%} "
+        "of the committed baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

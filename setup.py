@@ -1,8 +1,10 @@
 """Packaging for the BBS reproduction (``src`` layout, console entry point).
 
-Kept as a plain ``setup.py`` (no ``pyproject.toml``) so editable installs work
-on offline machines without the ``wheel`` package: pip's legacy
-``--no-use-pep517`` path needs exactly this file.
+Kept as a plain ``setup.py`` so editable installs work on offline machines
+without the ``wheel`` package: pip's legacy ``--no-use-pep517`` path needs
+exactly this file.  The repository's ``pyproject.toml`` holds lint
+configuration only — no ``[build-system]``/``[project]`` tables — so that
+path keeps working.
 """
 
 from setuptools import find_packages, setup

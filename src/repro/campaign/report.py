@@ -1,0 +1,100 @@
+"""Campaign aggregation: one strict-JSON report (plus CSV) per campaign.
+
+The aggregate report is built *only* from the expanded plan and the per-job
+result payloads — never from wall-clock state — and is serialized with sorted
+keys, so a resumed campaign produces a byte-identical report to an
+uninterrupted one.  Every cell carries its provenance digest (the content
+digest the result was checkpointed and cached under), which is what makes a
+report auditable: any cell can be recomputed from its ``scenario`` +
+``params`` and checked against its digest.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..eval.reporting import flatten_scalars, rows_to_csv, summarize_rows, to_jsonable
+from .spec import CampaignPlan
+
+__all__ = ["build_report", "report_csv", "serialize_report"]
+
+
+#: Flattened per-cell result keys whose values are digests/labels, not
+#: measurements; kept in the CSV but excluded from numeric summaries by type.
+_CELL_COLUMNS = ("cell", "grid", "scenario", "digest")
+
+
+def build_report(plan: CampaignPlan, results: Mapping[str, Any]) -> dict:
+    """Aggregate per-job results into the campaign's strict-JSON report.
+
+    Parameters
+    ----------
+    plan:
+        The expanded campaign (defines cell order and provenance digests).
+    results:
+        ``{job digest: result payload}`` for every job of the plan; a missing
+        digest raises ``KeyError`` — callers decide how to handle partial
+        campaigns (the CLI refuses, the runner only reports when complete).
+    """
+    cells = []
+    for job in plan.jobs:
+        if job.digest not in results:
+            raise KeyError(
+                f"missing result for cell {job.cell} (digest {job.digest[:12]}...)"
+            )
+        cells.append(
+            {
+                "cell": job.cell,
+                "grid": job.grid,
+                "scenario": job.scenario,
+                "params": to_jsonable(job.params),
+                "digest": job.digest,
+                "result": to_jsonable(results[job.digest]),
+            }
+        )
+
+    summaries = {}
+    for grid in plan.spec.grids:
+        rows = [
+            flatten_scalars(cell["result"])
+            for cell in cells
+            if cell["grid"] == grid.name
+        ]
+        summaries[grid.name] = {
+            "scenario": grid.scenario,
+            "cells": len(rows),
+            "metrics": summarize_rows(rows),
+        }
+
+    return {
+        "campaign": plan.spec.name,
+        "description": plan.spec.description,
+        "spec_digest": plan.spec_digest(),
+        "total_cells": len(cells),
+        "stage_order": list(plan.stage_order),
+        "grids": summaries,
+        "cells": cells,
+    }
+
+
+def report_csv(report: dict) -> str:
+    """Flatten a report's cells into one rectangular CSV table.
+
+    Each row is one cell: identity columns first, then the flattened
+    ``params.*`` and ``result.*`` leaves; the column set is the sorted union
+    over all cells, so grids of different scenarios align with empty cells.
+    """
+    rows = []
+    for cell in report["cells"]:
+        row: dict[str, Any] = {column: cell[column] for column in _CELL_COLUMNS}
+        row.update(flatten_scalars(cell["params"], prefix="params"))
+        row.update(flatten_scalars(cell["result"], prefix="result"))
+        rows.append(row)
+    extra = sorted(set().union(*(row.keys() for row in rows)) - set(_CELL_COLUMNS)) if rows else []
+    return rows_to_csv(rows, columns=list(_CELL_COLUMNS) + extra)
+
+
+def serialize_report(report: dict) -> str:
+    """The canonical byte representation of a report (sorted keys, LF end)."""
+    return json.dumps(report, indent=2, sort_keys=True, allow_nan=False) + "\n"

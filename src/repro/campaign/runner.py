@@ -1,0 +1,355 @@
+"""Campaign execution: sharded runs over the worker pool, with checkpoints.
+
+A campaign run owns a *run directory*::
+
+    <run_dir>/
+      spec.json            # the campaign spec, verbatim (resume re-reads it)
+      manifest.json        # the expanded plan: every cell + its digest
+      results/<digest>.json  # one checkpoint per completed job
+      state.json           # last run's wall-clock stats (not part of the report)
+      report.json          # aggregate report (written once all cells exist)
+      report.csv           # the same cells as one rectangular table
+
+Execution walks the grid DAG in topological order and ships each grid's
+pending cells to a :class:`repro.service.workers.WorkerPool` (threads by
+default, processes on request) — so a campaign is sharded across workers
+exactly like service traffic, and identical cells inside one run collapse
+onto a single computation through the pool's content-hash
+:class:`~repro.core.cache.ResultCache` (worker processes additionally reuse
+model/tensor artifacts through :mod:`repro.core.memo`).
+
+Checkpoints make runs resumable: a cell whose ``results/<digest>.json``
+already exists is never recomputed — killing a campaign after N of M jobs
+and resuming runs exactly ``M - N`` jobs, and because the report is built
+only from the manifest order and the checkpoint payloads, the resumed
+aggregate is byte-identical to an uninterrupted run.  Multi-machine sharding
+uses the same mechanism: ``shard 2/4`` runs every grid's cells with
+``index % 4 == 2`` into a shared run directory, and the report is written by
+whichever shard completes the manifest last (or by ``repro campaign report``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from ..eval.reporting import to_jsonable
+from .report import build_report, report_csv, serialize_report
+from .spec import (
+    CampaignJob,
+    CampaignPlan,
+    CampaignSpec,
+    CampaignSpecError,
+    expand_spec,
+    load_spec,
+    parse_spec,
+)
+
+__all__ = ["CampaignRunError", "CampaignRunner", "run_campaign"]
+
+
+class CampaignRunError(RuntimeError):
+    """One or more campaign cells failed; the run directory keeps the rest."""
+
+    def __init__(self, failures: list[tuple[CampaignJob, str]]):
+        self.failures = failures
+        summary = ", ".join(job.cell for job, _ in failures[:5])
+        more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+        super().__init__(
+            f"{len(failures)} campaign cell(s) failed: {summary}{more}; "
+            "completed cells are checkpointed — fix and `repro campaign resume`"
+        )
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write via a same-directory temp file + rename so readers never see
+    a torn checkpoint (a killed run leaves either no file or a whole one)."""
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class CampaignRunner:
+    """Execute (or resume) one campaign into a run directory."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        run_dir: str | Path,
+        jobs: int = 1,
+        use_processes: bool = False,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        max_jobs: int | None = None,
+        registry=None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if max_jobs is not None and max_jobs < 0:
+            raise ValueError("max_jobs must be >= 0")
+        self.spec = spec
+        self.run_dir = Path(run_dir)
+        self.jobs = jobs
+        self.use_processes = use_processes
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.max_jobs = max_jobs
+        if registry is None:
+            from ..service.registry import build_default_registry
+
+            registry = build_default_registry()
+        self.registry = registry
+        self.plan = expand_spec(spec, registry=registry)
+        self.stats: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def resume(cls, run_dir: str | Path, **kwargs) -> "CampaignRunner":
+        """Rebuild a runner from a run directory's own ``spec.json``."""
+        run_dir = Path(run_dir)
+        spec_path = run_dir / "spec.json"
+        if not spec_path.is_file():
+            raise CampaignSpecError(
+                f"{run_dir} is not a campaign run directory (no spec.json)"
+            )
+        return cls(load_spec(spec_path), run_dir, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Run-directory layout
+    # ------------------------------------------------------------------ #
+
+    @property
+    def results_dir(self) -> Path:
+        return self.run_dir / "results"
+
+    def _result_path(self, digest: str) -> Path:
+        return self.results_dir / f"{digest}.json"
+
+    def completed_digests(self) -> set[str]:
+        """Digests of every checkpointed cell currently in the run directory."""
+        wanted = {job.digest for job in self.plan.jobs}
+        return {
+            path.stem
+            for path in self.results_dir.glob("*.json")
+            if path.stem in wanted
+        }
+
+    def load_results(self) -> dict[str, Any]:
+        """Read every checkpoint payload, keyed by digest."""
+        results: dict[str, Any] = {}
+        for digest in self.completed_digests():
+            with open(self._result_path(digest)) as stream:
+                results[digest] = json.load(stream)["result"]
+        return results
+
+    def _prepare_run_dir(self) -> None:
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.results_dir.mkdir(exist_ok=True)
+        spec_path = self.run_dir / "spec.json"
+        canonical = self.spec.canonical()
+        if spec_path.is_file():
+            existing = parse_spec(json.loads(spec_path.read_text()))
+            if existing.digest() != self.spec.digest():
+                raise CampaignSpecError(
+                    f"{spec_path} holds a different campaign "
+                    f"({existing.name!r}, digest {existing.digest()[:12]}...); "
+                    "use a fresh --run-dir for a changed spec"
+                )
+        else:
+            _write_atomic(spec_path, json.dumps(canonical, indent=2, sort_keys=True) + "\n")
+        manifest = {
+            "campaign": self.spec.name,
+            "spec_digest": self.plan.spec_digest(),
+            "stage_order": list(self.plan.stage_order),
+            "total_cells": len(self.plan.jobs),
+            "cells": [
+                {
+                    "cell": job.cell,
+                    "grid": job.grid,
+                    "scenario": job.scenario,
+                    "params": to_jsonable(job.params),
+                    "digest": job.digest,
+                }
+                for job in self.plan.jobs
+            ],
+        }
+        _write_atomic(
+            self.run_dir / "manifest.json",
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> dict:
+        """Execute every pending cell of this shard; return the run stats.
+
+        When the whole manifest (all shards) is checkpointed afterwards, the
+        aggregate ``report.json``/``report.csv`` are (re)written as well and
+        the returned stats carry ``"report_written": True``.
+        """
+        from ..core.cache import ResultCache
+        from ..service.jobs import JobState
+        from ..service.workers import WorkerPool
+
+        started = time.perf_counter()
+        self._prepare_run_dir()
+        shard_plan = self.plan.shard(self.shard_index, self.shard_count)
+        completed = self.completed_digests()
+
+        pool = WorkerPool(
+            self.registry,
+            cache=ResultCache(max_entries=max(256, len(shard_plan.jobs))),
+            max_workers=self.jobs,
+            use_processes=self.use_processes,
+        )
+        executed = 0
+        skipped = 0
+        budget_left = self.max_jobs
+        failures: list[tuple[CampaignJob, str]] = []
+        failed_grids: set[str] = set()
+        interrupted = False
+        try:
+            for grid_name in shard_plan.stage_order:
+                grid = next(g for g in self.spec.grids if g.name == grid_name)
+                if any(dep in failed_grids for dep in grid.depends_on):
+                    failed_grids.add(grid_name)  # dependents of failures stay pending
+                    continue
+                pending = [
+                    job
+                    for job in shard_plan.jobs_for_grid(grid_name)
+                    if job.digest not in completed
+                ]
+                skipped += len(shard_plan.jobs_for_grid(grid_name)) - len(pending)
+                if budget_left is not None:
+                    if budget_left == 0 and pending:
+                        interrupted = True
+                        break
+                    pending = pending[:budget_left]
+                # One grid is a barrier (its cells may be another grid's
+                # dependency); inside it, cells fan out across the pool.
+                in_flight = [(job, pool.submit(job.scenario, job.params)) for job in pending]
+                for job, pool_job in in_flight:
+                    pool_job.wait()
+                    if pool_job.state is JobState.FAILED:
+                        failures.append((job, pool_job.error or "unknown error"))
+                        failed_grids.add(grid_name)
+                        continue
+                    self._checkpoint(job, pool_job.result)
+                    completed.add(job.digest)
+                    executed += 1
+                if budget_left is not None:
+                    budget_left -= len(in_flight)
+                    if budget_left <= 0 and self._shard_pending(shard_plan, completed):
+                        interrupted = True
+                        break
+        finally:
+            pool.shutdown()
+
+        report_written = False
+        if not failures and not interrupted:
+            # Re-glob rather than trusting the start-of-run snapshot: in a
+            # shared run directory other shards may have checkpointed cells
+            # while this shard executed, and the last finisher must notice.
+            completed = self.completed_digests()
+            if not self._plan_pending(completed):
+                self.write_report()
+                report_written = True
+
+        self.stats = {
+            "campaign": self.spec.name,
+            "spec_digest": self.plan.spec_digest(),
+            "run_dir": str(self.run_dir),
+            "shard": {"index": self.shard_index, "count": self.shard_count},
+            "total_cells": len(self.plan.jobs),
+            "shard_cells": len(shard_plan.jobs),
+            "executed": executed,
+            "skipped_checkpointed": skipped,
+            "failed": len(failures),
+            "interrupted": interrupted,
+            "report_written": report_written,
+            "elapsed_seconds": time.perf_counter() - started,
+            "pool": pool.stats(),
+        }
+        _write_atomic(
+            self.run_dir / "state.json",
+            json.dumps(to_jsonable(self.stats), indent=2, sort_keys=True) + "\n",
+        )
+        if failures:
+            raise CampaignRunError(failures)
+        return self.stats
+
+    def _shard_pending(self, shard_plan: CampaignPlan, completed: set[str]) -> bool:
+        return any(job.digest not in completed for job in shard_plan.jobs)
+
+    def _plan_pending(self, completed: set[str]) -> bool:
+        return any(job.digest not in completed for job in self.plan.jobs)
+
+    def _checkpoint(self, job: CampaignJob, result: Any) -> None:
+        payload = {
+            "cell": job.cell,
+            "grid": job.grid,
+            "scenario": job.scenario,
+            "params": to_jsonable(job.params),
+            "digest": job.digest,
+            "result": to_jsonable(result),
+        }
+        _write_atomic(
+            self._result_path(job.digest),
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def build_report(self) -> dict:
+        """Aggregate the checkpointed results (raises if any cell is missing)."""
+        return build_report(self.plan, self.load_results())
+
+    def write_report(self) -> dict:
+        """Build and persist ``report.json`` + ``report.csv``; return the report."""
+        report = self.build_report()
+        _write_atomic(self.run_dir / "report.json", serialize_report(report))
+        _write_atomic(self.run_dir / "report.csv", report_csv(report))
+        return report
+
+
+def run_campaign(
+    spec: dict | CampaignSpec,
+    jobs: int = 1,
+    run_dir: str | Path | None = None,
+    **kwargs,
+) -> dict:
+    """Run a campaign start-to-finish and return its aggregate report.
+
+    The service's ``campaign`` scenario uses this entry point: with no
+    ``run_dir`` the checkpoints live in a temporary directory that is removed
+    afterwards (the report is the product; the service cache keeps it).
+    """
+    if not isinstance(spec, CampaignSpec):
+        spec = parse_spec(spec)
+    if run_dir is not None:
+        runner = CampaignRunner(spec, run_dir, jobs=jobs, **kwargs)
+        runner.run()
+        return runner.build_report()
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as scratch:
+        runner = CampaignRunner(spec, scratch, jobs=jobs, **kwargs)
+        runner.run()
+        return runner.build_report()

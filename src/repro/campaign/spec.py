@@ -1,0 +1,340 @@
+"""Declarative campaign specs: JSON parameter grids over registry scenarios.
+
+A campaign spec describes a *scenario space* instead of a single run: each
+grid names one registry scenario (``prune_tensor``, ``simulate``,
+``quantize_tensor``, any experiment, ...), fixes some parameters, and sweeps
+others over lists of values.  Expansion takes the Cartesian product of every
+grid's swept axes and yields one :class:`CampaignJob` per cell, each carrying
+the stable content digest that the runner uses for checkpointing, resumption,
+and work deduplication.
+
+Spec layout (JSON object)::
+
+    {
+      "name": "pruning-grid",
+      "description": "optional free text",
+      "grids": [
+        {
+          "name": "pruning",
+          "scenario": "prune_tensor",
+          "params": {"rows": 64, "cols": 256},          # fixed for the grid
+          "sweep": {                                     # one axis per key
+            "num_columns": [2, 4],
+            "strategy": ["rounded_average", "zero_point_shift"]
+          },
+          "depends_on": ["calibration"]                  # optional grid DAG
+        }
+      ]
+    }
+
+``depends_on`` edges order whole grids: a grid's jobs are dispatched only
+after every job of its dependency grids has finished, which models
+compress-then-simulate style pipelines.  The resulting graph must be acyclic.
+
+Expansion is fully deterministic: axes are swept in sorted key order, cells
+are numbered in row-major order over those axes, and the spec digest covers
+the canonicalized spec, so two expansions of one spec agree byte-for-byte on
+every digest — the property the resume machinery relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..core.hashing import stable_digest
+
+__all__ = [
+    "CampaignGrid",
+    "CampaignJob",
+    "CampaignPlan",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "expand_spec",
+    "load_spec",
+    "parse_spec",
+]
+
+
+class CampaignSpecError(ValueError):
+    """A campaign spec is malformed or references unknown scenarios/params."""
+
+
+#: Scenarios a campaign may not contain (running a campaign inside a campaign
+#: would recurse without bound through the service registry).
+FORBIDDEN_SCENARIOS = frozenset({"campaign"})
+
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """One parameter grid over a single registry scenario."""
+
+    name: str
+    scenario: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    sweep: Mapping[str, list] = field(default_factory=dict)
+    depends_on: tuple[str, ...] = ()
+
+    def axes(self) -> list[tuple[str, list]]:
+        """Swept axes in sorted key order (the deterministic cell order)."""
+        return [(key, list(self.sweep[key])) for key in sorted(self.sweep)]
+
+    def cell_count(self) -> int:
+        count = 1
+        for _, values in self.axes():
+            count *= len(values)
+        return count
+
+    def cells(self) -> Iterable[dict[str, Any]]:
+        """Yield the merged parameter dict of every cell, row-major."""
+        axes = self.axes()
+        keys = [key for key, _ in axes]
+        for combo in itertools.product(*(values for _, values in axes)):
+            yield {**self.params, **dict(zip(keys, combo))}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A parsed, validated campaign: named grids forming a DAG."""
+
+    name: str
+    description: str
+    grids: tuple[CampaignGrid, ...]
+    raw: dict = field(repr=False)
+
+    def digest(self) -> str:
+        """Stable digest of the canonicalized spec (the campaign identity)."""
+        return stable_digest("repro-campaign-spec", self.canonical())
+
+    def canonical(self) -> dict:
+        """The spec reduced to exactly the fields that determine its jobs."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "grids": [
+                {
+                    "name": grid.name,
+                    "scenario": grid.scenario,
+                    "params": dict(grid.params),
+                    "sweep": {key: list(values) for key, values in grid.sweep.items()},
+                    "depends_on": list(grid.depends_on),
+                }
+                for grid in self.grids
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One expanded cell: a scenario invocation with concrete parameters."""
+
+    cell: str  #: ``"<grid>/<index>"`` — stable human-readable cell id
+    grid: str
+    index: int
+    scenario: str
+    params: dict
+    digest: str  #: content digest of ``(scenario, canonicalized params)``
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A fully expanded campaign: every job, in deterministic order."""
+
+    spec: CampaignSpec
+    jobs: tuple[CampaignJob, ...]
+    #: Grid names in topological (dispatch) order.
+    stage_order: tuple[str, ...]
+
+    def spec_digest(self) -> str:
+        return self.spec.digest()
+
+    def jobs_for_grid(self, grid: str) -> list[CampaignJob]:
+        return [job for job in self.jobs if job.grid == grid]
+
+    def shard(self, shard_index: int, shard_count: int) -> "CampaignPlan":
+        """Deterministic round-robin shard of every grid's cells.
+
+        Sharding is per-grid (cell ``index % shard_count``) rather than over
+        the flat job list so each shard holds a slice of *every* grid and a
+        grid's ``depends_on`` edges stay meaningful inside a single shard.
+        """
+        if shard_count <= 0:
+            raise CampaignSpecError("shard_count must be positive")
+        if not 0 <= shard_index < shard_count:
+            raise CampaignSpecError(
+                f"shard_index must be in [0, {shard_count}), got {shard_index}"
+            )
+        if shard_count == 1:
+            return self
+        kept = tuple(
+            job for job in self.jobs if job.index % shard_count == shard_index
+        )
+        return CampaignPlan(spec=self.spec, jobs=kept, stage_order=self.stage_order)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CampaignSpecError(message)
+
+
+def _parse_grid(entry: Any, position: int) -> CampaignGrid:
+    _require(isinstance(entry, dict), f"grids[{position}] must be a JSON object")
+    name = entry.get("name", f"grid{position}")
+    _require(isinstance(name, str) and name, f"grids[{position}].name must be a non-empty string")
+    _require("/" not in name, f"grid name {name!r} must not contain '/'")
+    scenario = entry.get("scenario")
+    _require(
+        isinstance(scenario, str) and bool(scenario),
+        f"grid {name!r} needs a non-empty string 'scenario'",
+    )
+    _require(
+        scenario not in FORBIDDEN_SCENARIOS,
+        f"grid {name!r}: scenario {scenario!r} cannot be nested inside a campaign",
+    )
+    params = entry.get("params", {})
+    _require(isinstance(params, dict), f"grid {name!r}: 'params' must be a JSON object")
+    sweep = entry.get("sweep", {})
+    _require(isinstance(sweep, dict), f"grid {name!r}: 'sweep' must be a JSON object")
+    for key, values in sweep.items():
+        _require(
+            isinstance(values, list) and len(values) > 0,
+            f"grid {name!r}: sweep axis {key!r} must be a non-empty list",
+        )
+        _require(
+            key not in params,
+            f"grid {name!r}: {key!r} is both fixed in 'params' and swept in 'sweep'",
+        )
+    depends_on = entry.get("depends_on", [])
+    _require(
+        isinstance(depends_on, list) and all(isinstance(d, str) for d in depends_on),
+        f"grid {name!r}: 'depends_on' must be a list of grid names",
+    )
+    unknown = set(entry) - {"name", "scenario", "params", "sweep", "depends_on"}
+    _require(not unknown, f"grid {name!r}: unknown field(s) {sorted(unknown)}")
+    return CampaignGrid(
+        name=name,
+        scenario=scenario,
+        params=dict(params),
+        sweep={key: list(values) for key, values in sweep.items()},
+        depends_on=tuple(depends_on),
+    )
+
+
+def parse_spec(raw: Any) -> CampaignSpec:
+    """Validate a decoded JSON object into a :class:`CampaignSpec`."""
+    _require(isinstance(raw, dict), "campaign spec must be a JSON object")
+    name = raw.get("name")
+    _require(isinstance(name, str) and bool(name), "spec needs a non-empty string 'name'")
+    # The name seeds the default run-directory path (runs/<name>-<digest>),
+    # so it must not be able to escape it.
+    _require(
+        re.fullmatch(r"[A-Za-z0-9][A-Za-z0-9 ._-]*", name) is not None,
+        f"spec name {name!r} may contain only letters, digits, spaces, "
+        "dots, underscores and dashes (and must start alphanumeric)",
+    )
+    description = raw.get("description", "")
+    _require(isinstance(description, str), "'description' must be a string")
+    grids_raw = raw.get("grids")
+    _require(
+        isinstance(grids_raw, list) and len(grids_raw) > 0,
+        "spec needs a non-empty 'grids' list",
+    )
+    unknown = set(raw) - {"name", "description", "grids"}
+    _require(not unknown, f"unknown top-level field(s) {sorted(unknown)}")
+
+    grids = tuple(_parse_grid(entry, position) for position, entry in enumerate(grids_raw))
+    names = [grid.name for grid in grids]
+    _require(len(set(names)) == len(names), f"duplicate grid names in {names}")
+    known = set(names)
+    for grid in grids:
+        missing = [dep for dep in grid.depends_on if dep not in known]
+        _require(
+            not missing,
+            f"grid {grid.name!r} depends on unknown grid(s) {missing}",
+        )
+        _require(
+            grid.name not in grid.depends_on,
+            f"grid {grid.name!r} depends on itself",
+        )
+    spec = CampaignSpec(name=name, description=description, grids=grids, raw=dict(raw))
+    _topological_order(spec.grids)  # raises on cycles
+    return spec
+
+
+def load_spec(path: str | Path) -> CampaignSpec:
+    """Read and validate a campaign spec from a JSON file."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise CampaignSpecError(f"{path}: invalid JSON: {error}") from None
+    return parse_spec(raw)
+
+
+def _topological_order(grids: tuple[CampaignGrid, ...]) -> tuple[str, ...]:
+    """Kahn topological sort of the grid DAG, stable in spec order."""
+    by_name = {grid.name: grid for grid in grids}
+    remaining = {grid.name: set(grid.depends_on) for grid in grids}
+    order: list[str] = []
+    while remaining:
+        ready = [name for name in (g.name for g in grids)
+                 if name in remaining and not remaining[name]]
+        if not ready:
+            cycle = sorted(remaining)
+            raise CampaignSpecError(f"grid dependency cycle among {cycle}")
+        for name in ready:
+            order.append(name)
+            del remaining[name]
+        for pending in remaining.values():
+            pending.difference_update(ready)
+    assert len(order) == len(by_name)
+    return tuple(order)
+
+
+def expand_spec(spec: CampaignSpec, registry=None) -> CampaignPlan:
+    """Expand a spec into its deterministic job list.
+
+    When ``registry`` (a :class:`repro.service.registry.ScenarioRegistry`) is
+    given, every grid's scenario and parameter names are validated against it
+    and each job's parameters are canonicalized against the scenario defaults
+    before hashing — so ``{"seed": 0}`` and ``{}`` land on one digest, exactly
+    as the service worker pool canonicalizes submissions.
+    """
+    from ..service.workers import job_digest
+
+    jobs: list[CampaignJob] = []
+    for grid in spec.grids:
+        defaults: Mapping[str, Any] | None = None
+        if registry is not None:
+            try:
+                declared = registry.get(grid.scenario)
+            except ValueError as error:
+                raise CampaignSpecError(f"grid {grid.name!r}: {error}") from None
+            defaults = declared.defaults
+            unknown = sorted(
+                (set(grid.params) | set(grid.sweep)) - set(defaults)
+            )
+            _require(
+                not unknown,
+                f"grid {grid.name!r}: unknown parameter(s) {unknown} for scenario "
+                f"{grid.scenario!r}; accepted: {sorted(defaults)}",
+            )
+        for index, cell_params in enumerate(grid.cells()):
+            params = {**defaults, **cell_params} if defaults is not None else cell_params
+            jobs.append(
+                CampaignJob(
+                    cell=f"{grid.name}/{index}",
+                    grid=grid.name,
+                    index=index,
+                    scenario=grid.scenario,
+                    params=params,
+                    digest=job_digest(grid.scenario, params),
+                )
+            )
+    return CampaignPlan(
+        spec=spec, jobs=tuple(jobs), stage_order=_topological_order(spec.grids)
+    )

@@ -15,6 +15,9 @@ Examples::
     python -m repro.cli ablations
     python -m repro.cli all --fast --jobs 4
     python -m repro.cli serve --port 8000 --workers 4 --processes
+    python -m repro.cli campaign run examples/campaign_pruning_grid.json --jobs 2
+    python -m repro.cli campaign resume runs/pruning-grid-0123456789ab
+    python -m repro.cli campaign report runs/pruning-grid-0123456789ab
 """
 
 from __future__ import annotations
@@ -128,6 +131,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="persist cached results to this directory"
     )
     serve_parser.add_argument("--verbose", action="store_true", help="log every request")
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="declarative experiment campaigns (run/resume/report)"
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_execution_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--jobs", type=int, default=1, help="worker-pool width")
+        sub.add_argument(
+            "--processes",
+            action="store_true",
+            help="run cells on worker processes instead of threads",
+        )
+        sub.add_argument(
+            "--shard",
+            default=None,
+            metavar="I/N",
+            help="run only this shard of every grid (e.g. 0/4); all shards "
+            "may share one --run-dir",
+        )
+        sub.add_argument(
+            "--max-jobs",
+            type=int,
+            default=None,
+            help="stop after completing this many new cells (resume later)",
+        )
+
+    campaign_run = campaign_sub.add_parser("run", help="expand and run a campaign spec")
+    campaign_run.add_argument("spec", help="path to a campaign spec (JSON)")
+    campaign_run.add_argument(
+        "--run-dir",
+        default=None,
+        help="checkpoint/report directory (default: runs/<name>-<digest12>)",
+    )
+    _add_execution_flags(campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="resume an interrupted campaign from its run directory"
+    )
+    campaign_resume.add_argument("run_dir", help="run directory of the interrupted campaign")
+    _add_execution_flags(campaign_resume)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="(re)build report.json/report.csv from the checkpoints"
+    )
+    campaign_report.add_argument("run_dir", help="run directory of a completed campaign")
+    campaign_report.add_argument(
+        "--json", action="store_true", help="print the aggregate report to stdout"
+    )
     return parser
 
 
@@ -174,6 +226,80 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(value: str | None) -> tuple[int, int]:
+    if value is None:
+        return 0, 1
+    try:
+        index_text, count_text = value.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"--shard must look like I/N (e.g. 0/4), got {value!r}")
+
+
+def _campaign(args: argparse.Namespace) -> int:
+    from .campaign import CampaignRunError, CampaignRunner, load_spec
+
+    try:
+        if args.campaign_command == "report":
+            runner = CampaignRunner.resume(args.run_dir)
+            try:
+                report = runner.write_report()
+            except KeyError as error:
+                print(f"campaign incomplete: {error}", file=sys.stderr)
+                print("run `repro campaign resume` to finish it first", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(f"report written: {runner.run_dir / 'report.json'}")
+                print(f"csv written:    {runner.run_dir / 'report.csv'}")
+                print(f"cells: {report['total_cells']}  spec: {report['spec_digest'][:12]}")
+            return 0
+
+        shard_index, shard_count = _parse_shard(args.shard)
+        options = dict(
+            jobs=args.jobs,
+            use_processes=args.processes,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            max_jobs=args.max_jobs,
+        )
+        if args.campaign_command == "run":
+            spec = load_spec(args.spec)
+            run_dir = args.run_dir or f"runs/{spec.name}-{spec.digest()[:12]}"
+            runner = CampaignRunner(spec, run_dir, **options)
+        else:  # resume
+            runner = CampaignRunner.resume(args.run_dir, **options)
+        stats = runner.run()
+    except (FileNotFoundError, ValueError) as error:
+        # ValueError covers CampaignSpecError (its subclass) and malformed
+        # runner options like --jobs 0.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except CampaignRunError as error:
+        print(f"error: {error}", file=sys.stderr)
+        for job, trace in error.failures[:3]:
+            last_line = trace.strip().splitlines()[-1] if trace.strip() else "unknown"
+            print(f"  {job.cell}: {last_line}", file=sys.stderr)
+        return 1
+
+    shard = stats["shard"]
+    scope = f" (shard {shard['index']}/{shard['count']})" if shard["count"] > 1 else ""
+    print(
+        f"campaign {stats['campaign']!r}{scope}: "
+        f"{stats['executed']} run, {stats['skipped_checkpointed']} checkpointed, "
+        f"{stats['total_cells']} total cells in {stats['elapsed_seconds']:.1f}s"
+    )
+    print(f"run dir: {runner.run_dir}")
+    if stats["interrupted"]:
+        print(f"stopped at --max-jobs; resume with: repro campaign resume {runner.run_dir}")
+    elif stats["report_written"]:
+        print(f"report:  {runner.run_dir / 'report.json'} (+ report.csv)")
+    else:
+        print("shard complete; report appears once every shard has run")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
@@ -185,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  ablations")
         print("  all")
+        print("  campaign (run/resume/report declarative campaign specs)")
         return 0
 
     if args.command == "ablations":
@@ -207,6 +334,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "campaign":
+        return _campaign(args)
 
     return _run_single(args.command, args)
 

@@ -27,7 +27,6 @@ import numpy as np
 from .bitplane import (
     column_weights,
     count_redundant_columns,
-    from_bitplanes,
     to_bitplanes,
 )
 

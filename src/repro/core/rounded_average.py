@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .bitplane import to_bitplanes, count_redundant_columns
+from .bitplane import to_bitplanes
 from .encoding import (
     MAX_PRUNED_COLUMNS,
     MAX_REDUNDANT_COLUMNS,

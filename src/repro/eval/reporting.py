@@ -8,18 +8,23 @@ can print "the same rows/series the paper reports".
 
 from __future__ import annotations
 
+import csv
 import dataclasses
 import enum
+import io
 import math
 from typing import Any, Iterable
 
 import numpy as np
 
 __all__ = [
+    "flatten_scalars",
     "format_table",
     "format_value",
     "geometric_mean",
     "render_bar_chart",
+    "rows_to_csv",
+    "summarize_rows",
     "to_jsonable",
 ]
 
@@ -145,6 +150,83 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [to_jsonable(item) for item in value]
     raise TypeError(f"cannot convert {type(value).__name__!r} to JSON")
+
+
+def flatten_scalars(value: Any, prefix: str = "", separator: str = ".") -> dict[str, Any]:
+    """Flatten a nested JSON-able value into ``{"dot.path": scalar}`` leaves.
+
+    The campaign aggregator uses this to turn heterogeneous per-cell result
+    payloads into flat CSV rows and numeric summary columns.  Dicts contribute
+    their keys as path segments, lists their indices; scalars (including
+    ``None``) become leaves.  Keys are emitted in sorted order so the result
+    is deterministic for any input layout.
+    """
+    value = to_jsonable(value)
+    leaves: dict[str, Any] = {}
+
+    def _walk(node: Any, path: str) -> None:
+        if isinstance(node, dict):
+            for key in sorted(node):
+                _walk(node[key], f"{path}{separator}{key}" if path else str(key))
+        elif isinstance(node, list):
+            for index, item in enumerate(node):
+                _walk(item, f"{path}{separator}{index}" if path else str(index))
+        else:
+            leaves[path or "value"] = node
+
+    _walk(value, prefix)
+    return leaves
+
+
+def rows_to_csv(rows: Iterable[dict[str, Any]], columns: list[str] | None = None) -> str:
+    """Render row dicts as CSV text (header + one line per row, ``\\n`` ends).
+
+    ``columns`` defaults to the sorted union of every row's keys, so rows with
+    different shapes (e.g. cells of different campaign grids) align into one
+    rectangular table with empty cells where a row lacks a column (``None``
+    also renders empty).
+    """
+    rows = list(rows)
+    if columns is None:
+        seen: set[str] = set()
+        for row in rows:
+            seen.update(row)
+        columns = sorted(seen)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow(
+            "" if row.get(column) is None else row.get(column) for column in columns
+        )
+    return buffer.getvalue()
+
+
+def summarize_rows(rows: Iterable[dict[str, Any]]) -> dict[str, dict[str, float]]:
+    """Per-column min/mean/max over the numeric columns of flat row dicts.
+
+    Booleans are excluded (they are ``int`` subclasses but not measurements);
+    non-numeric and missing cells are simply skipped.  Returns
+    ``{column: {"count": ..., "min": ..., "mean": ..., "max": ...}}`` with
+    columns in sorted order, so the output is deterministic.
+    """
+    values: dict[str, list[float]] = {}
+    for row in rows:
+        for key, cell in row.items():
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue
+            if isinstance(cell, float) and not math.isfinite(cell):
+                continue
+            values.setdefault(key, []).append(float(cell))
+    return {
+        column: {
+            "count": len(samples),
+            "min": min(samples),
+            "mean": sum(samples) / len(samples),
+            "max": max(samples),
+        }
+        for column, samples in sorted(values.items())
+    }
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -10,8 +10,11 @@ what the cache persists and the HTTP API ships.
 
 * every table/figure of the paper (the CLI's ``EXPERIMENT_COMMANDS``),
 * ``ablations`` and the full ``suite`` reproduction,
-* ad-hoc jobs: ``prune_tensor`` (compress one synthetic INT8 matrix) and
-  ``simulate`` (one model on one accelerator of the line-up).
+* ad-hoc jobs: ``prune_tensor`` (compress one synthetic matrix),
+  ``quantize_tensor`` (one ``repro.quant`` backend on one synthetic matrix)
+  and ``simulate`` (one model on one accelerator of the line-up),
+* ``campaign`` (run a whole declarative campaign spec and return its
+  aggregate report; see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
@@ -103,6 +106,19 @@ class ScenarioRegistry:
 # --------------------------------------------------------------------------- #
 
 
+def _synthetic_int_matrix(
+    rows: int, cols: int, seed: int, scale: float, bits: int = 8
+) -> np.ndarray:
+    """One synthetic Gaussian integer matrix, clipped to the signed range."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    limit = 1 << (bits - 1)
+    generator = np.random.default_rng(seed)
+    return np.clip(
+        np.round(generator.normal(0.0, scale, size=(rows, cols))), -limit, limit - 1
+    ).astype(np.int64)
+
+
 def _run_prune_tensor(
     rows: int,
     cols: int,
@@ -110,18 +126,14 @@ def _run_prune_tensor(
     num_columns: int,
     strategy: str,
     group_size: int,
+    bits: int,
     beta: float,
     scale: float,
 ) -> dict:
-    """Compress one synthetic Gaussian INT8 matrix and report the outcome."""
+    """Compress one synthetic Gaussian integer matrix and report the outcome."""
     from ..core import PruningStrategy, prune_tensor
 
-    if rows <= 0 or cols <= 0:
-        raise ValueError("rows and cols must be positive")
-    generator = np.random.default_rng(seed)
-    weights = np.clip(
-        np.round(generator.normal(0.0, scale, size=(rows, cols))), -128, 127
-    ).astype(np.int64)
+    weights = _synthetic_int_matrix(rows, cols, seed, scale, bits)
 
     sensitive = np.zeros(rows, dtype=bool)
     count = int(np.ceil(beta * rows))
@@ -134,6 +146,7 @@ def _run_prune_tensor(
         num_columns,
         PruningStrategy(strategy),
         group_size=group_size,
+        bits=bits,
         sensitive_channels=sensitive,
     )
     return {
@@ -141,6 +154,7 @@ def _run_prune_tensor(
         "strategy": PruningStrategy(strategy).value,
         "num_columns": num_columns,
         "group_size": group_size,
+        "bits": bits,
         "beta": beta,
         "content_digest": pruned.content_digest(),
         "storage_bits": int(pruned.storage_bits()),
@@ -173,6 +187,103 @@ def _run_simulate(
         "suite_digest": suite.config_digest(),
         **performance_summary(performance),
     }
+
+
+#: ``quantize_tensor`` backends -> the ``repro.quant`` entry point each maps to.
+QUANT_BACKENDS = ("ant", "bitflip", "microscaling", "noisyquant", "olive", "ptq")
+
+
+def _run_quantize_tensor(
+    backend: str,
+    rows: int,
+    cols: int,
+    seed: int,
+    scale: float,
+    bits: int,
+    group_size: int,
+    num_columns: int,
+) -> dict:
+    """Run one ``repro.quant`` backend over one synthetic Gaussian matrix.
+
+    The campaign engine sweeps ``backend`` (and word width/grouping) through
+    this single scenario, so every backend reports the same core metrics:
+    reconstruction MSE against the float reference and effective stored bits
+    per weight.  ``group_size`` doubles as the microscaling block size and the
+    bit-flip dot-product group; ``num_columns`` only matters for ``bitflip``.
+    """
+    from .. import quant
+
+    if backend not in QUANT_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {sorted(QUANT_BACKENDS)}"
+        )
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    generator = np.random.default_rng(seed)
+    weights = generator.normal(0.0, scale, size=(rows, cols))
+
+    extras: dict[str, Any] = {}
+    if backend == "ant":
+        result = quant.ant_quantize(weights, bits=bits)
+        mse, effective_bits = result.mse(), result.effective_bits()
+        counts: dict[str, int] = {}
+        for name in result.chosen_datatypes:
+            counts[name] = counts.get(name, 0) + 1
+        extras["datatype_counts"] = dict(sorted(counts.items()))
+    elif backend == "bitflip":
+        codes = quant.quantize_per_channel(weights, bits=bits)
+        result = quant.bitflip_tensor(
+            codes.values, num_columns, group_size=group_size, bits=bits
+        )
+        # Report MSE in the float domain like every other backend: dequantize
+        # the pruned codes so the metric includes the PTQ error, not just the
+        # column-pruning error measured between integer codes.
+        reconstructed = result.values * codes.scales[:, None]
+        mse = float(np.mean((weights - reconstructed) ** 2))
+        effective_bits = result.effective_bits()
+        extras["inherent_zero_columns"] = int(result.inherent_zero_columns.sum())
+        extras["forced_zero_columns"] = int(result.forced_zero_columns.sum())
+    elif backend == "microscaling":
+        result = quant.microscaling_quantize(
+            weights, element_bits=bits, block_size=group_size
+        )
+        mse, effective_bits = result.mse(), result.effective_bits()
+    elif backend == "noisyquant":
+        result = quant.noisyquant_quantize(weights, bits=bits, seed=seed)
+        mse, effective_bits = result.mse(), result.effective_bits()
+        extras["noise_amplitude"] = float(result.noise_amplitude)
+    elif backend == "olive":
+        result = quant.olive_quantize(weights, bits=bits)
+        mse, effective_bits = result.mse(), result.effective_bits()
+        extras["outlier_fraction"] = float(result.outlier_fraction)
+    else:  # ptq
+        quantized = quant.quantize_per_channel(weights, bits=bits, calibrate=bits < 6)
+        reconstructed = quant.dequantize(quantized)
+        mse = float(np.mean((weights - reconstructed) ** 2))
+        effective_bits = float(bits)
+
+    return {
+        "backend": backend,
+        "shape": [rows, cols],
+        "bits": bits,
+        "group_size": group_size,
+        "seed": seed,
+        "mse": float(mse),
+        "normalized_mse": float(mse) / float(scale) ** 2,
+        "effective_bits": float(effective_bits),
+        **extras,
+    }
+
+
+def _run_campaign(spec: Any, jobs: int) -> dict:
+    """Run a whole declarative campaign and return its aggregate report."""
+    from ..campaign import parse_spec, run_campaign
+
+    if not isinstance(spec, dict):
+        raise ValueError('campaign needs a "spec" parameter holding the spec object')
+    return run_campaign(parse_spec(spec), jobs=int(jobs))
 
 
 def _experiment_runner(name: str) -> Callable[..., dict]:
@@ -244,9 +355,34 @@ def build_default_registry() -> ScenarioRegistry:
             "num_columns": 4,
             "strategy": "zero_point_shift",
             "group_size": 32,
+            "bits": 8,
             "beta": 0.0,
             "scale": 24.0,
         },
+    )
+    registry.add(
+        "quantize_tensor",
+        "Quantize one synthetic Gaussian matrix with a repro.quant backend "
+        "(ant, bitflip, microscaling, noisyquant, olive, ptq) and report "
+        "reconstruction MSE and effective bits.",
+        _run_quantize_tensor,
+        {
+            "backend": "microscaling",
+            "rows": 128,
+            "cols": 1024,
+            "seed": 0,
+            "scale": 1.0,
+            "bits": 6,
+            "group_size": 32,
+            "num_columns": 4,
+        },
+    )
+    registry.add(
+        "campaign",
+        "Expand a declarative campaign spec into its job grid, run every "
+        "cell, and return the aggregate report (see repro.campaign).",
+        _run_campaign,
+        {"spec": None, "jobs": 1},
     )
     registry.add(
         "simulate",

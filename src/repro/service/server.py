@@ -13,7 +13,13 @@ GET       /jobs                      every job (summaries, no results)
 GET       /jobs/<id>                 one job's status (no result)
 GET       /jobs/<id>/result          finished job's full record incl. result
 POST      /jobs                      submit ``{"type": ..., "params": {...}}``
+POST      /campaign                  submit a declarative campaign spec
 ========  =========================  ==============================================
+
+``POST /campaign`` accepts either a campaign spec object directly or
+``{"spec": {...}, "jobs": N}``; the spec is validated before submission (bad
+specs are a 400, not a failed job) and the job's result is the campaign's
+aggregate report.
 
 ``POST /jobs?wait=<seconds>`` blocks (bounded) until the job finishes and then
 includes the result — handy for synchronous clients; everyone else polls
@@ -121,21 +127,25 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         url = urlsplit(self.path)
         raw = self._drain_body()
-        if [part for part in url.path.split("/") if part] != ["jobs"]:
+        parts = [part for part in url.path.split("/") if part]
+        if parts not in (["jobs"], ["campaign"]):
             self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
             return
         try:
             wait_seconds = self._parse_wait(url.query)
             body = self._parse_json_body(raw)
-            job_type = body.get("type")
-            if not isinstance(job_type, str):
-                raise ValueError('missing or non-string "type" field')
-            params = body.get("params")
-            if params is None:
-                params = {}
-            if not isinstance(params, dict):
-                raise ValueError('"params" must be a JSON object')
-            job = self.server.pool.submit(job_type, params)
+            if parts == ["campaign"]:
+                job = self._submit_campaign(body)
+            else:
+                job_type = body.get("type")
+                if not isinstance(job_type, str):
+                    raise ValueError('missing or non-string "type" field')
+                params = body.get("params")
+                if params is None:
+                    params = {}
+                if not isinstance(params, dict):
+                    raise ValueError('"params" must be a JSON object')
+                job = self.server.pool.submit(job_type, params)
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
             return
@@ -145,6 +155,31 @@ class _RequestHandler(BaseHTTPRequestHandler):
         finished = job.state.finished
         status = 200 if finished else 202
         self._send_json(status, job.to_dict(include_result=job.state is JobState.DONE))
+
+    def _submit_campaign(self, body: dict):
+        """Validate and enqueue one ``POST /campaign`` request.
+
+        The body is either the spec itself or ``{"spec": ..., "jobs": N}``;
+        validation (including expansion against this pool's registry, which
+        catches unknown scenarios and parameter typos) runs here so malformed
+        specs fail the request, not the job.
+        """
+        from ..campaign import CampaignSpecError, expand_spec, parse_spec
+
+        if "spec" in body:
+            spec, jobs = body.get("spec"), body.get("jobs", 1)
+            unknown = set(body) - {"spec", "jobs"}
+            if unknown:
+                raise ValueError(f"unknown campaign field(s) {sorted(unknown)}")
+        else:
+            spec, jobs = body, 1
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ValueError('"jobs" must be a positive integer')
+        try:
+            expand_spec(parse_spec(spec), registry=self.server.pool.registry)
+        except CampaignSpecError as error:
+            raise ValueError(f"invalid campaign spec: {error}") from None
+        return self.server.pool.submit("campaign", {"spec": spec, "jobs": jobs})
 
     @staticmethod
     def _parse_wait(query_string: str) -> float | None:

@@ -193,3 +193,51 @@ class TestJobSubmission:
             assert json.loads(response.read())["status"] == "ok"
         finally:
             connection.close()
+
+
+#: A 2-cell campaign: fast enough for a synchronous ?wait= round trip.
+CAMPAIGN_SPEC = {
+    "name": "http-campaign",
+    "grids": [
+        {
+            "name": "quant",
+            "scenario": "quantize_tensor",
+            "params": {"rows": 16, "cols": 64, "backend": "ptq"},
+            "sweep": {"bits": [6, 8]},
+        }
+    ],
+}
+
+
+class TestCampaignEndpoint:
+    def test_post_campaign_runs_to_aggregate_report(self, base):
+        status, payload = post(
+            base, "/campaign?wait=120", {"spec": CAMPAIGN_SPEC, "jobs": 2}
+        )
+        assert status == 200
+        assert payload["state"] == "done"
+        report = payload["result"]
+        assert report["campaign"] == "http-campaign"
+        assert report["total_cells"] == 2
+        assert [cell["cell"] for cell in report["cells"]] == ["quant/0", "quant/1"]
+        assert all(cell["digest"] for cell in report["cells"])
+
+    def test_post_campaign_accepts_bare_spec_body(self, base):
+        status, payload = post(base, "/campaign?wait=120", CAMPAIGN_SPEC)
+        assert status == 200
+        # Same wrapped job => the result cache serves the repeat instantly.
+        assert payload["result"]["spec_digest"]
+
+    def test_invalid_specs_and_fields_are_400(self, base):
+        assert post(base, "/campaign", {"spec": {"name": "x"}})[0] == 400
+        assert post(base, "/campaign", {"spec": CAMPAIGN_SPEC, "jobs": 0})[0] == 400
+        assert post(base, "/campaign", {"spec": CAMPAIGN_SPEC, "typo": 1})[0] == 400
+        assert post(base, "/campaign", b"{not json")[0] == 400
+        # Unknown scenarios and parameter typos fail the request, not the job.
+        bad_scenario = json.loads(json.dumps(CAMPAIGN_SPEC))
+        bad_scenario["grids"][0]["scenario"] = "no_such_scenario"
+        status, payload = post(base, "/campaign", bad_scenario)
+        assert status == 400 and "no_such_scenario" in payload["error"]
+        bad_param = json.loads(json.dumps(CAMPAIGN_SPEC))
+        bad_param["grids"][0]["sweep"]["typo_axis"] = [1]
+        assert post(base, "/campaign", bad_param)[0] == 400
