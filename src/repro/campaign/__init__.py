@@ -11,12 +11,15 @@ strict-JSON report plus a CSV table.
 
 * :mod:`repro.campaign.spec` — spec parsing, validation, grid expansion.
 * :mod:`repro.campaign.runner` — sharded execution, checkpoints, resume.
+* :mod:`repro.campaign.dispatch` — federated execution across remote
+  ``repro serve`` nodes, byte-identical to a local run.
 * :mod:`repro.campaign.report` — aggregation into report.json / report.csv.
 
-Entry points: ``repro campaign run|resume|report`` on the CLI, and the
-``campaign`` scenario (``POST /campaign``) on the service.
+Entry points: ``repro campaign run|resume|report|dispatch`` on the CLI, and
+the ``campaign`` scenario (``POST /campaign``) on the service.
 """
 
+from .dispatch import CampaignDispatcher, DispatchError, dispatch_campaign
 from .report import build_report, report_csv, serialize_report
 from .runner import CampaignRunError, CampaignRunner, run_campaign
 from .spec import (
@@ -31,6 +34,7 @@ from .spec import (
 )
 
 __all__ = [
+    "CampaignDispatcher",
     "CampaignGrid",
     "CampaignJob",
     "CampaignPlan",
@@ -38,7 +42,9 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignSpecError",
+    "DispatchError",
     "build_report",
+    "dispatch_campaign",
     "expand_spec",
     "load_spec",
     "parse_spec",

@@ -1,0 +1,386 @@
+"""Federated campaign execution: fan cells out over remote ``repro serve`` nodes.
+
+The dispatcher takes the same expanded, content-addressed plan the local
+:class:`~repro.campaign.runner.CampaignRunner` executes, but ships each cell
+to one of N remote service endpoints (``repro serve``) instead of a local
+worker pool.  Everything else is deliberately identical:
+
+* the run directory layout (``spec.json``/``manifest.json``/``results/``) is
+  produced by the same :class:`CampaignRunner` code path;
+* each finished cell is checkpointed atomically as ``results/<digest>.json``
+  with the same payload bytes a local run writes;
+* the aggregate ``report.json``/``report.csv`` are built only from the
+  manifest order and the checkpoint payloads.
+
+So a campaign dispatched across machines produces a report **byte-identical**
+to a local run, resumes idempotently (checkpointed cells are never
+re-sent), and tolerates node loss: when a node stops answering, its
+outstanding cells are reassigned to the surviving nodes, and a fully dead
+fleet fails the dispatch with the checkpoints intact — re-dispatching (or
+running locally) finishes the remainder.
+
+Grid DAG semantics match the local runner: a grid's cells are dispatched only
+after its dependency grids completed, and grids depending on a failed grid
+stay pending.  Load balancing is pull-based: each node holds at most
+``max_inflight`` cells, so fast nodes drain more of the queue and a node's
+``max_queued`` backpressure limit is respected by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..eval.reporting import to_jsonable
+from ..service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceRequestError,
+    ServiceUnavailable,
+)
+from .runner import CampaignRunError, CampaignRunner, _write_atomic
+from .spec import CampaignJob, CampaignSpec
+
+__all__ = ["CampaignDispatcher", "DispatchError", "dispatch_campaign"]
+
+#: Remote job states that end a cell.
+_TERMINAL = ("done", "failed", "cancelled")
+
+#: A cell is failed (not retried forever) once it has been (re)submitted
+#: this many times without reaching a checkpoint — the backstop against a
+#: persistently broken cell (e.g. a result the node cannot serialize)
+#: turning the dispatch loop into a livelock.
+MAX_CELL_ATTEMPTS = 5
+
+
+class DispatchError(RuntimeError):
+    """No reachable node is left to run the remaining cells."""
+
+
+@dataclass
+class _Node:
+    """One remote endpoint and what the dispatcher knows about it."""
+
+    url: str
+    client: ServiceClient
+    alive: bool = True
+    reason: str = ""
+    outstanding: int = 0
+    completed: int = 0
+    submitted: int = 0
+    #: Current submission window; shrunk when the node reports saturation.
+    window: int = 1
+    #: Monotonic time before which a saturated node is not offered new cells.
+    cooldown_until: float = 0.0
+
+    def summary(self) -> dict:
+        return {
+            "url": self.url,
+            "alive": self.alive,
+            "reason": self.reason,
+            "submitted": self.submitted,
+            "completed": self.completed,
+        }
+
+
+@dataclass
+class _Cell:
+    """One in-flight cell: where it currently runs and under which remote id."""
+
+    job: CampaignJob
+    node: _Node
+    remote_id: str
+    attempts: int = field(default=1)
+
+
+class CampaignDispatcher:
+    """Execute (or resume) one campaign across remote service endpoints."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        endpoints: list[str],
+        run_dir: str | Path,
+        registry=None,
+        poll_interval: float = 0.05,
+        max_inflight: int = 8,
+        client_factory=ServiceClient,
+        client_options: dict | None = None,
+    ):
+        if not endpoints:
+            raise ValueError("at least one service endpoint is required")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        # The runner provides the identical run-dir layout, checkpointing,
+        # and report machinery; the dispatcher only replaces execution.
+        self.runner = CampaignRunner(spec, run_dir, registry=registry)
+        self.spec = self.runner.spec
+        self.plan = self.runner.plan
+        self.run_dir = self.runner.run_dir
+        self.poll_interval = poll_interval
+        self.max_inflight = max_inflight
+        options = dict(client_options or {})
+        self.nodes = [
+            _Node(url.rstrip("/"), client_factory(url, **options), window=max_inflight)
+            for url in endpoints
+        ]
+        self._rr = 0  # round-robin tiebreak between equally loaded nodes
+        self.stats: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Node management
+    # ------------------------------------------------------------------ #
+
+    def _alive_nodes(self) -> list[_Node]:
+        return [node for node in self.nodes if node.alive]
+
+    def _mark_dead(self, node: _Node, reason: str) -> None:
+        node.alive = False
+        node.reason = reason
+
+    def _probe_nodes(self) -> None:
+        """Health-check every node; a node down at start is skipped, not fatal."""
+        for node in self.nodes:
+            try:
+                node.client.health()
+            except ServiceError as error:
+                self._mark_dead(node, f"health check failed: {error}")
+        if not self._alive_nodes():
+            raise DispatchError(self._dead_fleet_message())
+
+    def _dead_fleet_message(self) -> str:
+        details = "; ".join(f"{node.url}: {node.reason}" for node in self.nodes)
+        return f"no reachable service node left ({details})"
+
+    def _pick_node(self, ignore_window: bool = False) -> _Node | None:
+        """Least-loaded alive node under ``max_inflight``, round-robin on ties.
+
+        ``ignore_window=True`` (used when reassigning a dead node's cells,
+        which must land *somewhere*) picks the least-loaded alive node even
+        if every window is full.
+        """
+        candidates = self._alive_nodes()
+        if not ignore_window:
+            now = time.monotonic()
+            candidates = [
+                n for n in candidates
+                if n.outstanding < n.window and now >= n.cooldown_until
+            ]
+        if not candidates:
+            return None
+        load = min(node.outstanding for node in candidates)
+        tied = [node for node in candidates if node.outstanding == load]
+        self._rr += 1
+        return tied[self._rr % len(tied)]
+
+    # ------------------------------------------------------------------ #
+    # Cell submission / completion
+    # ------------------------------------------------------------------ #
+
+    def _submit_cell(
+        self, job: CampaignJob, attempts: int = 1, ignore_window: bool = False
+    ) -> _Cell:
+        """Submit one cell to some alive node, failing over on dead ones."""
+        while True:
+            node = self._pick_node(ignore_window=ignore_window)
+            if node is None and self._alive_nodes():
+                # A failover mid-submit can leave every survivor at its
+                # window limit; the cell still has to land somewhere.
+                node = self._pick_node(ignore_window=True)
+            if node is None:
+                raise DispatchError(self._dead_fleet_message())
+            try:
+                record = node.client.submit(job.scenario, to_jsonable(job.params))
+            except ServiceUnavailable as error:
+                if error.saturated:
+                    # A full queue (429 through every retry) is backpressure,
+                    # not death: shrink the node's window, let it cool down,
+                    # and place the cell elsewhere (or wait for a drain).
+                    node.window = max(1, node.outstanding)
+                    node.cooldown_until = time.monotonic() + max(self.poll_interval, 0.05)
+                    if self._pick_node() is None:
+                        time.sleep(max(self.poll_interval, 0.05))
+                    continue
+                self._mark_dead(node, str(error))
+                continue
+            except ServiceRequestError as error:
+                # The node rejected the submission outright (e.g. its registry
+                # does not know the scenario): version skew — refuse the node,
+                # keep the cell for the rest of the fleet.
+                self._mark_dead(node, f"rejected {job.cell}: {error}")
+                continue
+            if record.get("digest") != job.digest:
+                # The node canonicalizes against a different registry than the
+                # local plan: its results would be checkpointed under the
+                # wrong content address.  Refuse the node, not the cell.
+                self._mark_dead(
+                    node,
+                    f"digest mismatch for cell {job.cell} (local {job.digest[:12]}..., "
+                    f"remote {str(record.get('digest'))[:12]}...): registry skew",
+                )
+                continue
+            node.outstanding += 1
+            node.submitted += 1
+            return _Cell(job=job, node=node, remote_id=record["job_id"], attempts=attempts)
+
+    def _reassign(self, cell: _Cell, reason: str) -> _Cell:
+        """Move a dead node's cell to a surviving node (window ignored)."""
+        self._mark_dead(cell.node, reason)
+        cell.node.outstanding = 0
+        return self._submit_cell(cell.job, attempts=cell.attempts + 1, ignore_window=True)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> dict:
+        """Dispatch every pending cell; return the run stats.
+
+        Writes the aggregate report when the whole manifest is checkpointed
+        (exactly like a completing local run) and raises
+        :class:`~repro.campaign.runner.CampaignRunError` when cells failed
+        remotely, or :class:`DispatchError` when every node died.
+        """
+        started = time.perf_counter()
+        self.runner.prepare_run_dir()
+        completed = self.runner.completed_digests()
+        self._probe_nodes()
+
+        executed = 0
+        skipped = 0
+        failures: list[tuple[CampaignJob, str]] = []
+        failed_grids: set[str] = set()
+
+        for grid_name in self.plan.stage_order:
+            grid = next(g for g in self.spec.grids if g.name == grid_name)
+            if any(dep in failed_grids for dep in grid.depends_on):
+                failed_grids.add(grid_name)  # dependents of failures stay pending
+                continue
+            grid_jobs = self.plan.jobs_for_grid(grid_name)
+            pending = [job for job in grid_jobs if job.digest not in completed]
+            skipped += len(grid_jobs) - len(pending)
+            executed += self._run_grid(
+                grid_name, pending, completed, failures, failed_grids
+            )
+
+        report_written = False
+        if not failures:
+            completed = self.runner.completed_digests()
+            if not any(job.digest not in completed for job in self.plan.jobs):
+                self.runner.write_report()
+                report_written = True
+
+        self.stats = {
+            "campaign": self.spec.name,
+            "spec_digest": self.plan.spec_digest(),
+            "run_dir": str(self.run_dir),
+            "mode": "dispatch",
+            "nodes": [node.summary() for node in self.nodes],
+            "total_cells": len(self.plan.jobs),
+            "executed": executed,
+            "skipped_checkpointed": skipped,
+            "failed": len(failures),
+            "report_written": report_written,
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+        _write_atomic(
+            self.run_dir / "state.json",
+            json.dumps(to_jsonable(self.stats), indent=2, sort_keys=True) + "\n",
+        )
+        if failures:
+            raise CampaignRunError(failures)
+        return self.stats
+
+    def _run_grid(
+        self,
+        grid_name: str,
+        pending: list[CampaignJob],
+        completed: set[str],
+        failures: list[tuple[CampaignJob, str]],
+        failed_grids: set[str],
+    ) -> int:
+        """Fan one grid's pending cells over the fleet; return cells executed."""
+        queue = list(pending)
+        outstanding: dict[str, _Cell] = {}  # digest -> in-flight cell
+        executed = 0
+
+        while queue or outstanding:
+            # Keep every node's window full (fast nodes pull more cells).
+            while queue and self._pick_node() is not None:
+                cell = self._submit_cell(queue.pop(0))
+                outstanding[cell.job.digest] = cell
+
+            progressed = False
+            for digest, cell in list(outstanding.items()):
+                if not cell.node.alive:
+                    # The node died while other cells were being handled; do
+                    # not burn a full retry cycle against it per cell.
+                    outstanding[digest] = self._submit_cell(
+                        cell.job, attempts=cell.attempts + 1, ignore_window=True
+                    )
+                    progressed = True
+                    continue
+                try:
+                    record = cell.node.client.job(cell.remote_id)
+                    if record["state"] == "done":
+                        record = cell.node.client.result(cell.remote_id)
+                except ServiceUnavailable as error:
+                    outstanding[digest] = self._reassign(cell, str(error))
+                    progressed = True
+                    continue
+                except ServiceRequestError as error:
+                    # Usually the remote job store evicted this record (its
+                    # finished history is bounded) and the result is still in
+                    # the node's content-hash cache, so resubmitting is an
+                    # instant hit.  Bounded, because a *persistent* error
+                    # (e.g. a result the node cannot serialize is a 500 on
+                    # every fetch) would otherwise livelock the dispatch.
+                    cell.node.outstanding = max(cell.node.outstanding - 1, 0)
+                    del outstanding[digest]
+                    progressed = True
+                    if cell.attempts >= MAX_CELL_ATTEMPTS:
+                        failures.append(
+                            (cell.job,
+                             f"gave up after {cell.attempts} attempt(s): {error}")
+                        )
+                        failed_grids.add(grid_name)
+                    else:
+                        outstanding[digest] = self._submit_cell(
+                            cell.job, attempts=cell.attempts + 1, ignore_window=True
+                        )
+                    continue
+                if record["state"] not in _TERMINAL:
+                    continue
+                cell.node.outstanding = max(cell.node.outstanding - 1, 0)
+                del outstanding[digest]
+                progressed = True
+                if record["state"] == "done":
+                    self.runner.checkpoint(cell.job, record["result"])
+                    completed.add(digest)
+                    cell.node.completed += 1
+                    executed += 1
+                else:
+                    failures.append(
+                        (cell.job, record.get("error") or f"remote job {record['state']}")
+                    )
+                    failed_grids.add(grid_name)
+            if (queue or outstanding) and not progressed:
+                time.sleep(self.poll_interval)
+        return executed
+
+
+def dispatch_campaign(
+    spec: dict | CampaignSpec,
+    endpoints: list[str],
+    run_dir: str | Path,
+    **kwargs,
+) -> dict:
+    """Dispatch a campaign across ``endpoints`` and return the run stats."""
+    from .spec import parse_spec
+
+    if not isinstance(spec, CampaignSpec):
+        spec = parse_spec(spec)
+    return CampaignDispatcher(spec, endpoints, run_dir, **kwargs).run()

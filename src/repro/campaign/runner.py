@@ -157,7 +157,12 @@ class CampaignRunner:
                 results[digest] = json.load(stream)["result"]
         return results
 
-    def _prepare_run_dir(self) -> None:
+    def prepare_run_dir(self) -> None:
+        """Create the run directory, pin ``spec.json``, write the manifest.
+
+        Shared by local execution (:meth:`run`) and the federated dispatcher
+        (:mod:`repro.campaign.dispatch`), so both produce identical layouts.
+        """
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.results_dir.mkdir(exist_ok=True)
         spec_path = self.run_dir / "spec.json"
@@ -209,7 +214,7 @@ class CampaignRunner:
         from ..service.workers import WorkerPool
 
         started = time.perf_counter()
-        self._prepare_run_dir()
+        self.prepare_run_dir()
         shard_plan = self.plan.shard(self.shard_index, self.shard_count)
         completed = self.completed_digests()
 
@@ -251,7 +256,7 @@ class CampaignRunner:
                         failures.append((job, pool_job.error or "unknown error"))
                         failed_grids.add(grid_name)
                         continue
-                    self._checkpoint(job, pool_job.result)
+                    self.checkpoint(job, pool_job.result)
                     completed.add(job.digest)
                     executed += 1
                 if budget_left is not None:
@@ -301,7 +306,8 @@ class CampaignRunner:
     def _plan_pending(self, completed: set[str]) -> bool:
         return any(job.digest not in completed for job in self.plan.jobs)
 
-    def _checkpoint(self, job: CampaignJob, result: Any) -> None:
+    def checkpoint(self, job: CampaignJob, result: Any) -> None:
+        """Atomically persist one cell's result as ``results/<digest>.json``."""
         payload = {
             "cell": job.cell,
             "grid": job.grid,

@@ -130,6 +130,21 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--cache-dir", default=None, help="persist cached results to this directory"
     )
+    serve_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="journal every job to DIR/journal.jsonl and replay it on restart "
+        "(also persists the result cache under DIR/cache unless --cache-dir "
+        "says otherwise)",
+    )
+    serve_parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject new jobs with 429 once N are queued/running (backpressure)",
+    )
     serve_parser.add_argument("--verbose", action="store_true", help="log every request")
 
     campaign_parser = subparsers.add_parser(
@@ -180,6 +195,38 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_report.add_argument(
         "--json", action="store_true", help="print the aggregate report to stdout"
     )
+
+    campaign_dispatch = campaign_sub.add_parser(
+        "dispatch",
+        help="fan a campaign's cells out across remote `repro serve` nodes "
+        "(same checkpoints and byte-identical report as a local run)",
+    )
+    campaign_dispatch.add_argument("spec", help="path to a campaign spec (JSON)")
+    campaign_dispatch.add_argument(
+        "--nodes",
+        nargs="+",
+        required=True,
+        metavar="URL",
+        help="service endpoints, e.g. http://host-a:8000 http://host-b:8000",
+    )
+    campaign_dispatch.add_argument(
+        "--run-dir",
+        default=None,
+        help="checkpoint/report directory (default: runs/<name>-<digest12>); "
+        "re-dispatching into the same directory resumes",
+    )
+    campaign_dispatch.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="cells held on each node at once (backpressure-aware window)",
+    )
+    campaign_dispatch.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.1,
+        help="seconds between remote status sweeps",
+    )
     return parser
 
 
@@ -211,11 +258,22 @@ def _serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_processes=args.processes,
         verbose=args.verbose,
+        max_queued=args.max_queued,
+        journal_dir=args.journal,
     )
     host, port = server.server_address[0], server.port
     worker_kind = "processes" if args.processes else "threads"
     print(f"repro service listening on http://{host}:{port}")
     print(f"  scenarios: {len(server.registry)}  workers: {args.workers} {worker_kind}")
+    if args.journal:
+        replay = server.replay_stats or {}
+        print(
+            f"  journal: {server.journal.path} "
+            f"(replayed {replay.get('replayed', 0)} job(s), "
+            f"{replay.get('completed', 0)} done, {replay.get('requeued', 0)} requeued)"
+        )
+    if args.max_queued is not None:
+        print(f"  backpressure: 429 beyond {args.max_queued} unfinished job(s)")
     print("  endpoints: /health /scenarios /jobs /cache/stats  (Ctrl-C to stop)")
     try:
         server.serve_forever()
@@ -236,10 +294,70 @@ def _parse_shard(value: str | None) -> tuple[int, int]:
         raise SystemExit(f"--shard must look like I/N (e.g. 0/4), got {value!r}")
 
 
+def _campaign_dispatch(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignDispatcher,
+        CampaignRunError,
+        DispatchError,
+        load_spec,
+    )
+    from .service.client import ServiceError
+
+    try:
+        spec = load_spec(args.spec)
+        run_dir = args.run_dir or f"runs/{spec.name}-{spec.digest()[:12]}"
+        dispatcher = CampaignDispatcher(
+            spec,
+            endpoints=args.nodes,
+            run_dir=run_dir,
+            max_inflight=args.max_inflight,
+            poll_interval=args.poll_interval,
+        )
+        stats = dispatcher.run()
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except DispatchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "completed cells are checkpointed; re-dispatch (or run locally) "
+            "to finish the remainder",
+            file=sys.stderr,
+        )
+        return 1
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except CampaignRunError as error:
+        print(f"error: {error}", file=sys.stderr)
+        for job, trace in error.failures[:3]:
+            last_line = trace.strip().splitlines()[-1] if trace.strip() else "unknown"
+            print(f"  {job.cell}: {last_line}", file=sys.stderr)
+        return 1
+
+    print(
+        f"campaign {stats['campaign']!r} dispatched over "
+        f"{len(stats['nodes'])} node(s): "
+        f"{stats['executed']} run, {stats['skipped_checkpointed']} checkpointed, "
+        f"{stats['total_cells']} total cells in {stats['elapsed_seconds']:.1f}s"
+    )
+    for node in stats["nodes"]:
+        status = "ok" if node["alive"] else f"LOST ({node['reason']})"
+        print(f"  {node['url']}: {node['completed']} cell(s) completed — {status}")
+    print(f"run dir: {stats['run_dir']}")
+    if stats["report_written"]:
+        print(f"report:  {dispatcher.run_dir / 'report.json'} (+ report.csv)")
+    else:
+        print("incomplete; re-dispatch into the same --run-dir to resume")
+    return 0
+
+
 def _campaign(args: argparse.Namespace) -> int:
     from .campaign import CampaignRunError, CampaignRunner, load_spec
 
     try:
+        if args.campaign_command == "dispatch":
+            return _campaign_dispatch(args)
         if args.campaign_command == "report":
             runner = CampaignRunner.resume(args.run_dir)
             try:
@@ -311,7 +429,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  ablations")
         print("  all")
-        print("  campaign (run/resume/report declarative campaign specs)")
+        print("  campaign (run/resume/report/dispatch declarative campaign specs)")
         return 0
 
     if args.command == "ablations":

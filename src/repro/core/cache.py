@@ -14,6 +14,7 @@ thread and the worker pool stores results from worker threads.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -22,13 +23,27 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["MISSING", "CacheStats", "ResultCache"]
+
+
+class _Missing:
+    """Sentinel distinguishing "no cached entry" from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+#: Pass as ``default`` to :meth:`ResultCache.get` to tell a miss apart from a
+#: stored ``None`` — a legitimate job result that must still cache-hit.
+MISSING: Any = _Missing()
 
 
 class CacheStats:
     """Mutable hit/miss/eviction counters, exported as a dict for the API."""
 
-    __slots__ = ("hits", "misses", "evictions", "stores", "disk_hits")
+    __slots__ = ("hits", "misses", "evictions", "stores", "disk_hits", "disk_errors")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -36,6 +51,7 @@ class CacheStats:
         self.evictions = 0
         self.stores = 0
         self.disk_hits = 0
+        self.disk_errors = 0
 
     def as_dict(self) -> dict:
         total = self.hits + self.misses
@@ -45,6 +61,7 @@ class CacheStats:
             "evictions": self.evictions,
             "stores": self.stores,
             "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
             "hit_rate": self.hits / total if total else 0.0,
         }
 
@@ -93,7 +110,7 @@ class ResultCache:
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
                 return self._entries[key]
-            if value is not None:
+            if value is not MISSING:
                 self._insert(key)
                 self._entries[key] = value
                 self._stats.hits += 1
@@ -103,7 +120,13 @@ class ResultCache:
             return default
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key``, evicting LRU entries beyond capacity."""
+        """Store ``value`` under ``key``, evicting LRU entries beyond capacity.
+
+        The optional disk write is best-effort: a value that cannot be
+        serialized (or a full/unwritable disk) only loses persistence — the
+        in-memory entry stands and the caller's already-computed result is
+        never turned into a failure.  Such skips count as ``disk_errors``.
+        """
         with self._lock:
             self._insert(key)
             self._entries[key] = value
@@ -112,7 +135,11 @@ class ResultCache:
             # Written outside the lock; the tmp-file + rename keeps each key's
             # file atomic, and concurrent writers of the same key write equal
             # content (keys are content digests).
-            self._write_to_disk(key, value)
+            try:
+                self._write_to_disk(key, value)
+            except (TypeError, ValueError, OSError):
+                with self._lock:
+                    self._stats.disk_errors += 1
 
     def _insert(self, key: str) -> None:
         """Reserve a slot for ``key``: refresh if present, else evict to fit."""
@@ -138,20 +165,27 @@ class ResultCache:
         with tempfile.NamedTemporaryFile(
             "w", dir=path.parent, prefix=f".{key}.", suffix=".tmp", delete=False
         ) as handle:
-            json.dump(value, handle, allow_nan=False)
+            try:
+                json.dump(value, handle, allow_nan=False)
+            except BaseException:
+                # A half-written tmp file must not outlive the failed store.
+                handle.close()
+                with contextlib.suppress(OSError):
+                    os.unlink(handle.name)
+                raise
         os.replace(handle.name, path)
 
     def _load_from_disk(self, key: str) -> Any:
         if self._directory is None:
-            return None
+            return MISSING
         path = self._path(key)
         if not path.exists():
-            return None
+            return MISSING
         try:
             with path.open() as handle:
                 return json.load(handle)
         except (OSError, json.JSONDecodeError):
-            return None
+            return MISSING
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -5,28 +5,48 @@ Turns the batch CLI into a servable system (``python -m repro.cli serve``):
 * :mod:`repro.service.cache` — content-hash result cache (LRU + optional
   disk persistence) keyed by stable digests of job inputs.
 * :mod:`repro.service.jobs` — job records, lifecycle states, and the store.
+* :mod:`repro.service.journal` — append-only JSONL job journal replayed on
+  restart, making the service durable.
 * :mod:`repro.service.registry` — named, parameterized job types: every
   paper experiment plus ad-hoc compression/simulation jobs.
-* :mod:`repro.service.workers` — thread pool executing jobs with caching
-  and in-flight deduplication.
+* :mod:`repro.service.workers` — thread pool executing jobs with caching,
+  in-flight deduplication, cancellation, and queue backpressure.
 * :mod:`repro.service.server` — pure-stdlib HTTP/JSON API.
+* :mod:`repro.service.client` — stdlib HTTP client with retries/backoff and
+  typed errors (the substrate of federated campaign dispatch).
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import MISSING, CacheStats, ResultCache
+from .client import (
+    JobFailedError,
+    ServiceClient,
+    ServiceError,
+    ServiceRequestError,
+    ServiceUnavailable,
+)
 from .jobs import Job, JobState, JobStore
+from .journal import JobJournal
 from .registry import JobType, ScenarioRegistry, build_default_registry
 from .server import ReproServer, create_server
-from .workers import WorkerPool, job_digest
+from .workers import QueueFullError, WorkerPool, job_digest
 
 __all__ = [
+    "MISSING",
     "CacheStats",
     "Job",
+    "JobFailedError",
+    "JobJournal",
     "JobState",
     "JobStore",
     "JobType",
+    "QueueFullError",
     "ReproServer",
     "ResultCache",
     "ScenarioRegistry",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRequestError",
+    "ServiceUnavailable",
     "WorkerPool",
     "build_default_registry",
     "create_server",

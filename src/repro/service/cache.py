@@ -8,6 +8,6 @@ working for service code and its tests.
 
 from __future__ import annotations
 
-from ..core.cache import CacheStats, ResultCache
+from ..core.cache import MISSING, CacheStats, ResultCache
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["MISSING", "CacheStats", "ResultCache"]

@@ -1,0 +1,224 @@
+"""Stdlib HTTP client for the repro service, with retries and typed errors.
+
+A thin, dependency-free wrapper over :mod:`urllib` that turns the service's
+JSON API into Python calls and its failure modes into a small exception
+taxonomy:
+
+* :class:`ServiceRequestError` — the service answered with a non-retryable
+  4xx (bad submission, unknown job, cancel conflict); carries the status and
+  the decoded JSON error payload.
+* :class:`ServiceUnavailable` — the node could not be reached (connection
+  refused/reset, timeout), kept answering 5xx, or stayed saturated (429)
+  through every retry.  Transient failures are retried with exponential
+  backoff before this is raised, so one dropped packet does not kill a
+  campaign dispatch.
+* :class:`JobFailedError` — raised only by the synchronous conveniences
+  (:meth:`ServiceClient.run_job`) when the remote job itself failed; carries
+  the job record with the remote traceback.
+
+The campaign dispatcher (:mod:`repro.campaign.dispatch`) is built entirely on
+this client; ``examples/service_client.py`` shows interactive use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable
+
+__all__ = [
+    "JobFailedError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRequestError",
+    "ServiceUnavailable",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for everything this client raises."""
+
+
+class ServiceRequestError(ServiceError):
+    """The service rejected the request (non-retryable 4xx)."""
+
+    def __init__(self, status: int, payload: dict | None, url: str):
+        self.status = status
+        self.payload = payload or {}
+        self.url = url
+        message = self.payload.get("error", f"HTTP {status}")
+        super().__init__(f"{url}: {message} (HTTP {status})")
+
+
+class ServiceUnavailable(ServiceError):
+    """The node stayed unreachable/saturated through every retry.
+
+    ``saturated`` distinguishes a full queue (every attempt answered 429 —
+    the node is alive, just busy) from a node that cannot be reached at all;
+    callers like the campaign dispatcher back off instead of failing over.
+    """
+
+    def __init__(self, url: str, attempts: int, cause: str, saturated: bool = False):
+        self.url = url
+        self.attempts = attempts
+        self.saturated = saturated
+        super().__init__(f"{url}: unreachable after {attempts} attempt(s): {cause}")
+
+
+class JobFailedError(ServiceError):
+    """A synchronously awaited remote job finished FAILED."""
+
+    def __init__(self, job: dict):
+        self.job = job
+        error = (job.get("error") or "unknown error").strip().splitlines()[-1]
+        super().__init__(f"job {job.get('job_id')!r} failed: {error}")
+
+
+#: HTTP statuses worth retrying: saturation and transient upstream errors.
+_RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8000")``.
+
+    ``retries`` counts *additional* attempts after the first; the delay
+    before retry ``n`` is ``backoff * 2**n`` seconds.  ``sleep`` is
+    injectable so tests (and pollers with their own pacing) stay fast.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.2,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = sleep
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.base_url!r})"
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One JSON round trip with retry/backoff; returns the decoded body."""
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload, allow_nan=False).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_cause = "no attempt made"
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                self._sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                request = urllib.request.Request(url, data=data, headers=headers, method=method)
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                status = error.code
+                try:
+                    body = json.loads(error.read())
+                except (json.JSONDecodeError, OSError):
+                    body = None
+                if status in _RETRYABLE_STATUSES:
+                    last_cause = f"HTTP {status}"
+                    continue
+                raise ServiceRequestError(status, body, url) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+                last_cause = str(getattr(error, "reason", None) or error)
+                continue
+            except json.JSONDecodeError as error:
+                last_cause = f"non-JSON response: {error}"
+                continue
+        raise ServiceUnavailable(
+            url, attempts, last_cause, saturated=last_cause == "HTTP 429"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        return self.request("GET", "/health")
+
+    def scenarios(self) -> list[dict]:
+        return self.request("GET", "/scenarios")["scenarios"]
+
+    def cache_stats(self) -> dict:
+        return self.request("GET", "/cache/stats")
+
+    def submit(self, job_type: str, params: dict | None = None,
+               wait: float | None = None) -> dict:
+        """Submit a job; returns its record (with result if done and waited)."""
+        path = "/jobs" if wait is None else f"/jobs?wait={wait}"
+        return self.request("POST", path, {"type": job_type, "params": params or {}})
+
+    def submit_campaign(self, spec: dict, jobs: int = 1, wait: float | None = None) -> dict:
+        path = "/campaign" if wait is None else f"/campaign?wait={wait}"
+        return self.request("POST", path, {"spec": spec, "jobs": jobs})
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Full record of a finished job, including its result payload."""
+        return self.request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("POST", f"/jobs/{job_id}/cancel")
+
+    def jobs(self, state: str | None = None, offset: int | None = None,
+             limit: int | None = None) -> dict:
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (("state", state), ("offset", offset), ("limit", limit))
+            if value is not None
+        )
+        return self.request("GET", "/jobs" + (f"?{query}" if query else ""))
+
+    # ------------------------------------------------------------------ #
+    # Conveniences
+    # ------------------------------------------------------------------ #
+
+    def run_job(
+        self,
+        job_type: str,
+        params: dict | None = None,
+        poll_interval: float = 0.05,
+        timeout: float | None = None,
+    ) -> Any:
+        """Submit, wait for completion, and return the result payload.
+
+        Raises :class:`JobFailedError` if the remote job fails and
+        ``TimeoutError`` if it does not finish in ``timeout`` seconds.
+        """
+        record = self.submit(job_type, params, wait=0)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not _finished(record["state"]):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {record['job_id']} did not finish in {timeout}s"
+                )
+            self._sleep(poll_interval)
+            record = self.job(record["job_id"])
+        if record["state"] != "done":
+            raise JobFailedError(record)
+        return self.result(record["job_id"])["result"]
+
+
+def _finished(state: str) -> bool:
+    return state in ("done", "failed", "cancelled")

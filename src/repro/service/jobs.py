@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -26,10 +27,11 @@ class JobState(str, enum.Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
     @property
     def finished(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED)
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
 
 
 @dataclass
@@ -89,6 +91,10 @@ class Job:
     def mark_failed(self, error: str) -> None:
         self.error = error
         self._finish(JobState.FAILED)
+
+    def mark_cancelled(self, reason: str = "cancelled by client") -> None:
+        self.error = reason
+        self._finish(JobState.CANCELLED)
 
     def _finish(self, state: JobState) -> None:
         now_pc = time.perf_counter()
@@ -159,6 +165,24 @@ class JobStore:
                 digest=digest,
             )
             self._jobs[job.job_id] = job
+            return job
+
+    def restore(self, job_id: str, job_type: str, params: dict, digest: str) -> Job:
+        """Re-create a job under its historical id (journal replay).
+
+        The id counter is advanced past the restored id so jobs created after
+        a replay never collide with pre-restart ones.
+        """
+        with self._lock:
+            if job_id in self._jobs:
+                raise ValueError(f"job id {job_id!r} already present")
+            self._evict_finished()
+            job = Job(job_id=job_id, job_type=job_type, params=params, digest=digest)
+            self._jobs[job_id] = job
+            match = re.fullmatch(r"job-(\d+)", job_id)
+            if match:
+                floor = int(match.group(1))
+                self._counter = itertools.count(max(next(self._counter), floor + 1))
             return job
 
     def _evict_finished(self) -> None:

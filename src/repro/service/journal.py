@@ -1,0 +1,177 @@
+"""Append-only JSONL job journal: the service's durable memory.
+
+Every job the worker pool accepts is journaled as a ``submit`` line and later
+as a ``done``/``failed``/``cancelled`` line, one strict-JSON object per line,
+flushed on write — so the journal survives a killed process and a truncated
+final line (the only corruption a crash can cause) is simply skipped on
+replay.
+
+Replay rebuilds the pre-restart job store inside a fresh
+:class:`~repro.service.workers.WorkerPool`:
+
+* ``done`` jobs reappear as DONE under their historical ids, their results
+  served from the (persistent) result cache — nothing is recomputed;
+* ``failed``/``cancelled`` jobs reappear in their terminal states with the
+  recorded error;
+* unfinished jobs (a ``submit`` line without a finish line — the queue the
+  crash destroyed) are re-enqueued under their historical ids and simply run
+  again, where the content-hash cache still deduplicates any part of the
+  work that was persisted before the crash.
+
+``repro serve --journal DIR`` wires this up end to end (and defaults the
+result cache's persistence into ``DIR/cache`` so replayed DONE jobs keep
+their payloads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .jobs import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .workers import WorkerPool
+
+__all__ = ["JobJournal"]
+
+
+#: Journal event name per terminal job state.
+_FINISH_EVENTS = {
+    JobState.DONE: "done",
+    JobState.FAILED: "failed",
+    JobState.CANCELLED: "cancelled",
+}
+
+
+class JobJournal:
+    """Append-only ``journal.jsonl`` under one directory, with replay."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "journal.jsonl"
+        self._lock = threading.Lock()
+        self._handle = self.path.open("a", encoding="utf-8")
+        self.write_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording (called by the worker pool, best-effort)
+    # ------------------------------------------------------------------ #
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Append one event line.  Best-effort: a journal that cannot be
+        written (full disk, non-JSON params) must not fail the job itself."""
+        with self._lock:
+            try:
+                line = json.dumps({"event": event, **fields}, sort_keys=True, allow_nan=False)
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except (TypeError, ValueError, OSError):
+                self.write_errors += 1
+
+    def record_submit(self, job: Job) -> None:
+        self.record(
+            "submit",
+            job_id=job.job_id,
+            type=job.job_type,
+            params=job.params,
+            digest=job.digest,
+            submitted_at=job.submitted_at,
+        )
+
+    def record_finish(self, job: Job) -> None:
+        event = _FINISH_EVENTS.get(job.state)
+        if event is None:  # pragma: no cover - finish called on live job
+            return
+        fields: dict[str, Any] = {"job_id": job.job_id, "digest": job.digest}
+        if job.state is JobState.DONE:
+            fields["cache_hit"] = job.cache_hit
+        else:
+            fields["error"] = job.error
+        self.record(event, **fields)
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> Iterator[dict]:
+        """Yield every parseable event line, oldest first.
+
+        Unparseable lines (in practice: only a final line truncated by a
+        kill) are silently skipped — the journal is an at-least-once record,
+        and a job whose finish line was lost merely re-runs on replay.
+        """
+        if not self.path.exists():
+            return
+        with self.path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def replay(self, pool: "WorkerPool") -> dict:
+        """Rebuild the journaled jobs inside ``pool``; return replay stats."""
+        merged: dict[str, dict] = {}
+        order: list[str] = []
+        for record in self.records():
+            job_id = record.get("job_id")
+            event = record.get("event")
+            if not isinstance(job_id, str):
+                continue
+            if event == "submit":
+                if job_id not in merged:
+                    order.append(job_id)
+                merged[job_id] = {
+                    "type": record.get("type"),
+                    "params": record.get("params"),
+                    "digest": record.get("digest"),
+                    "state": None,
+                    "error": None,
+                }
+            elif event in ("done", "failed", "cancelled") and job_id in merged:
+                merged[job_id]["state"] = JobState(event)
+                merged[job_id]["error"] = record.get("error")
+
+        stats = {"replayed": 0, "completed": 0, "failed": 0,
+                 "cancelled": 0, "requeued": 0, "skipped": 0}
+        for job_id in order:
+            entry = merged[job_id]
+            if (
+                not isinstance(entry["type"], str)
+                or not isinstance(entry["params"], dict)
+                or not isinstance(entry["digest"], str)
+            ):
+                stats["skipped"] += 1
+                continue
+            job, requeued = pool.restore_job(
+                job_id,
+                entry["type"],
+                entry["params"],
+                entry["digest"],
+                state=entry["state"],
+                error=entry["error"],
+            )
+            stats["replayed"] += 1
+            if requeued:
+                stats["requeued"] += 1
+            elif job.state is JobState.DONE:
+                stats["completed"] += 1
+            elif job.state is JobState.CANCELLED:
+                stats["cancelled"] += 1
+            else:
+                stats["failed"] += 1
+        return stats

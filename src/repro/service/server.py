@@ -9,10 +9,12 @@ Method    Path                       Meaning
 GET       /health                    liveness + uptime + pool stats
 GET       /scenarios                 the registry's job types and their parameters
 GET       /cache/stats               cache hit/miss/eviction counters
-GET       /jobs                      every job (summaries, no results)
+GET       /jobs                      job summaries (``?state=``, ``?offset=``,
+                                     ``?limit=`` filter and paginate)
 GET       /jobs/<id>                 one job's status (no result)
 GET       /jobs/<id>/result          finished job's full record incl. result
 POST      /jobs                      submit ``{"type": ..., "params": {...}}``
+POST      /jobs/<id>/cancel          cancel a still-queued job
 POST      /campaign                  submit a declarative campaign spec
 ========  =========================  ==============================================
 
@@ -24,6 +26,11 @@ aggregate report.
 ``POST /jobs?wait=<seconds>`` blocks (bounded) until the job finishes and then
 includes the result — handy for synchronous clients; everyone else polls
 ``/jobs/<id>``.  Responses are strict JSON (no NaN), UTF-8 encoded.
+
+Every failure mode answers with a JSON error envelope: malformed bodies,
+headers, and query parameters are 4xx, a saturated queue is 429, and any
+unexpected handler exception is a 500 — never an HTML traceback, and never a
+silently dropped keep-alive connection.
 """
 
 from __future__ import annotations
@@ -36,13 +43,33 @@ from urllib.parse import parse_qs, urlsplit
 
 from .cache import ResultCache
 from .jobs import JobState
+from .journal import JobJournal
 from .registry import ScenarioRegistry, build_default_registry
-from .workers import WorkerPool
+from .workers import QueueFullError, WorkerPool
 
 __all__ = ["ReproServer", "create_server"]
 
 #: Upper bound on ``?wait=`` so a client cannot pin a handler thread forever.
 MAX_WAIT_SECONDS = 300.0
+
+#: Upper bound on request bodies (a campaign spec is a few KiB; anything in
+#: the tens of MiB is a mistake or abuse and must not balloon the heap).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _HTTPError(Exception):
+    """A client error the handler turns into a JSON error response.
+
+    ``close`` forces ``Connection: close``: raised when the request body
+    could not be (fully) drained, so the keep-alive byte stream is no longer
+    trustworthy for a next request.
+    """
+
+    def __init__(self, status: int, message: str, close: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.close = close
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -63,13 +90,32 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
     def _drain_body(self) -> bytes:
         """Always consume the request body: on a keep-alive connection,
         unread bytes would be parsed as the next request line."""
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            # The body length is unknowable, so the body cannot be drained;
+            # answer 400 and drop the (now unparseable) connection.
+            raise _HTTPError(
+                400, f"invalid Content-Length header {raw_length!r}", close=True
+            ) from None
+        if length < 0:
+            raise _HTTPError(
+                400, f"invalid Content-Length header {raw_length!r}", close=True
+            )
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(
+                413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}",
+                close=True,
+            )
         return self.rfile.read(length) if length else b""
 
     def _parse_json_body(self, raw: bytes) -> dict:
@@ -83,11 +129,48 @@ class _RequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
+    def _handle(self, route) -> None:
+        """Run one route with the error envelope every response path shares.
+
+        Guarantees a JSON response (or a deliberately closed connection) for
+        every outcome: expected client errors (:class:`_HTTPError`), a full
+        queue (429), handler bugs and unserializable results (500), and a
+        client that disconnected mid-response (swallowed — there is nobody
+        left to answer).
+        """
+        try:
+            route()
+        except _HTTPError as error:
+            if error.close:
+                self.close_connection = True
+            self._send_json(error.status, {"error": error.message})
+        except QueueFullError as error:
+            self._send_json(429, {"error": str(error), "max_queued": error.limit})
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True  # client went away; nothing to send
+        except Exception as error:  # noqa: BLE001 - last-resort envelope
+            # The response may be half-written and the request half-read;
+            # answer on a best-effort basis and retire the connection.
+            self.close_connection = True
+            try:
+                self._send_json(
+                    500,
+                    {"error": f"internal server error: {type(error).__name__}: {error}"},
+                )
+            except (BrokenPipeError, ConnectionResetError, OSError, ValueError, TypeError):
+                pass
+
     # ------------------------------------------------------------------ #
     # Routes
     # ------------------------------------------------------------------ #
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(self._route_post)
+
+    def _route_get(self) -> None:
         url = urlsplit(self.path)
         parts = [part for part in url.path.split("/") if part]
         pool = self.server.pool
@@ -99,6 +182,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "uptime_seconds": time.time() - self.server.started_at,
                     "scenarios": len(self.server.registry),
+                    "journal": self.server.journal is not None,
                     "pool": pool.stats(),
                 },
             )
@@ -107,7 +191,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         elif parts == ["cache", "stats"]:
             self._send_json(200, pool.cache.stats())
         elif parts == ["jobs"]:
-            self._send_json(200, {"jobs": [job.to_dict() for job in pool.store.jobs()]})
+            self._send_json(200, self._list_jobs(url.query))
         elif len(parts) in (2, 3) and parts[0] == "jobs":
             job = pool.store.get(parts[1])
             if job is None:
@@ -116,7 +200,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, job.to_dict())
             elif parts[2] == "result":
                 if not job.state.finished:
-                    self._send_json(409, {"error": "job not finished", **job.to_dict()})
+                    # The envelope's "error" must win over the job record's
+                    # (None) error field, so it is merged last.
+                    self._send_json(409, {**job.to_dict(), "error": "job not finished"})
                 else:
                     self._send_json(200, job.to_dict(include_result=True))
             else:
@@ -124,10 +210,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+    def _route_post(self) -> None:
         url = urlsplit(self.path)
         raw = self._drain_body()
         parts = [part for part in url.path.split("/") if part]
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            self._cancel_job(parts[1])
+            return
         if parts not in (["jobs"], ["campaign"]):
             self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
             return
@@ -145,6 +234,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     params = {}
                 if not isinstance(params, dict):
                     raise ValueError('"params" must be a JSON object')
+                unknown = set(body) - {"type", "params"}
+                if unknown:
+                    raise ValueError(f"unknown field(s) {sorted(unknown)}")
                 job = self.server.pool.submit(job_type, params)
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
@@ -155,6 +247,58 @@ class _RequestHandler(BaseHTTPRequestHandler):
         finished = job.state.finished
         status = 200 if finished else 202
         self._send_json(status, job.to_dict(include_result=job.state is JobState.DONE))
+
+    def _cancel_job(self, job_id: str) -> None:
+        job = self.server.pool.cancel(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no such job {job_id!r}"})
+        elif job.state is JobState.CANCELLED:
+            self._send_json(200, job.to_dict())
+        else:
+            self._send_json(
+                409,
+                {
+                    **job.to_dict(),
+                    "error": f"job {job_id!r} could not be cancelled "
+                    f"(state: {job.state.value}; a job is cancellable only "
+                    "until a worker picks it up)",
+                },
+            )
+
+    def _list_jobs(self, query_string: str) -> dict:
+        """``GET /jobs`` with optional ``state``/``offset``/``limit``."""
+        query = parse_qs(query_string)
+        state: JobState | None = None
+        if "state" in query:
+            try:
+                state = JobState(query["state"][0])
+            except ValueError:
+                choices = sorted(s.value for s in JobState)
+                raise _HTTPError(
+                    400, f'invalid "state" {query["state"][0]!r}; one of {choices}'
+                ) from None
+        offset = self._parse_non_negative_int(query, "offset", 0)
+        limit = self._parse_non_negative_int(query, "limit", None)
+        jobs = self.server.pool.store.jobs(state=state)
+        window = jobs[offset:] if limit is None else jobs[offset:offset + limit]
+        return {
+            "jobs": [job.to_dict() for job in window],
+            "total": len(jobs),
+            "offset": offset,
+            "limit": limit,
+        }
+
+    @staticmethod
+    def _parse_non_negative_int(query: dict, key: str, default):
+        if key not in query:
+            return default
+        try:
+            value = int(query[key][0])
+        except ValueError:
+            raise _HTTPError(400, f'invalid "{key}" value {query[key][0]!r}') from None
+        if value < 0:
+            raise _HTTPError(400, f'"{key}" must be >= 0, got {value}')
+        return value
 
     def _submit_campaign(self, body: dict):
         """Validate and enqueue one ``POST /campaign`` request.
@@ -197,7 +341,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
 
 class ReproServer(ThreadingHTTPServer):
-    """HTTP server owning the registry, cache, and worker pool."""
+    """HTTP server owning the registry, cache, worker pool, and journal."""
 
     daemon_threads = True
 
@@ -209,12 +353,23 @@ class ReproServer(ThreadingHTTPServer):
         max_workers: int = 2,
         use_processes: bool = False,
         verbose: bool = False,
+        max_queued: int | None = None,
+        journal: JobJournal | None = None,
     ):
         super().__init__(address, _RequestHandler)
         self.registry = registry
+        self.journal = journal
         self.pool = WorkerPool(
-            registry, cache=cache, max_workers=max_workers, use_processes=use_processes
+            registry,
+            cache=cache,
+            max_workers=max_workers,
+            use_processes=use_processes,
+            max_queued=max_queued,
+            journal=journal,
         )
+        self.replay_stats: dict | None = None
+        if journal is not None:
+            self.replay_stats = journal.replay(self.pool)
         self.started_at = time.time()
         self.verbose = verbose
 
@@ -231,6 +386,8 @@ class ReproServer(ThreadingHTTPServer):
         self.shutdown()
         self.server_close()
         self.pool.shutdown(wait=wait)
+        if self.journal is not None:
+            self.journal.close()
 
 
 def create_server(
@@ -243,6 +400,8 @@ def create_server(
     cache_dir: str | None = None,
     use_processes: bool = False,
     verbose: bool = False,
+    max_queued: int | None = None,
+    journal_dir: str | None = None,
 ) -> ReproServer:
     """Build a ready-to-serve :class:`ReproServer` (``port=0`` -> ephemeral).
 
@@ -250,10 +409,18 @@ def create_server(
     workloads are partly GIL-bound); process workers rebuild the *default*
     registry, so combine it with a custom ``registry`` only if that registry
     is the default one.
+
+    ``journal_dir`` makes the service durable: jobs are journaled to
+    ``<journal_dir>/journal.jsonl`` and replayed on startup, and — unless an
+    explicit ``cache``/``cache_dir`` says otherwise — cached results persist
+    under ``<journal_dir>/cache`` so replayed jobs keep their payloads.
     """
     if registry is None:
         registry = build_default_registry()
+    journal = JobJournal(journal_dir) if journal_dir is not None else None
     if cache is None:
+        if cache_dir is None and journal is not None:
+            cache_dir = str(journal.directory / "cache")
         cache = ResultCache(max_entries=cache_size, directory=cache_dir)
     return ReproServer(
         (host, port),
@@ -262,4 +429,6 @@ def create_server(
         max_workers=max_workers,
         use_processes=use_processes,
         verbose=verbose,
+        max_queued=max_queued,
+        journal=journal,
     )

@@ -7,12 +7,19 @@ Submission path (all under one lock, so concurrent clients agree):
 2. cache hit -> a job that is born ``done`` with ``cache_hit=True``;
 3. an identical job already queued/running -> return *that* job (in-flight
    deduplication: concurrent clients share one computation);
-4. otherwise enqueue a fresh job on the executor.
+4. the pool is saturated (``max_queued`` unfinished jobs) ->
+   :class:`QueueFullError` (the HTTP layer maps it to 429);
+5. otherwise enqueue a fresh job on the executor.
 
 Results are cached only on success; failures capture the traceback on the job
-and are re-runnable.  Threads are the default: numpy releases the GIL for its
-heavy kernels.  But the compression workloads also spend real time in Python
-glue (grouping, scheduling, reporting), so ``use_processes=True`` swaps in a
+and are re-runnable.  A queued job can be cancelled (:meth:`WorkerPool.cancel`)
+until a worker picks it up.  With a :class:`~repro.service.journal.JobJournal`
+attached, every accepted job and every terminal transition is journaled, and
+:meth:`WorkerPool.restore_job` rebuilds pre-restart jobs during replay.
+
+Threads are the default: numpy releases the GIL for its heavy kernels.  But
+the compression workloads also spend real time in Python glue (grouping,
+scheduling, reporting), so ``use_processes=True`` swaps in a
 ``ProcessPoolExecutor``.  Worker processes rebuild the *default* registry on
 first use and benefit from their own artifact memo (:mod:`repro.core.memo`);
 a registry with job types outside the default set is rejected at
@@ -29,17 +36,28 @@ import time
 import traceback
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
+from ..core.cache import MISSING, ResultCache
 from ..core.hashing import stable_digest
-from .cache import ResultCache
-from .jobs import Job, JobStore
+from .jobs import Job, JobState, JobStore
+from .journal import JobJournal
 from .registry import ScenarioRegistry
 
-__all__ = ["WorkerPool", "job_digest"]
+__all__ = ["QueueFullError", "WorkerPool", "job_digest"]
 
 
 def job_digest(job_type: str, params: dict) -> str:
     """Stable content digest identifying one job's full input."""
     return stable_digest("repro-job", job_type, params)
+
+
+class QueueFullError(RuntimeError):
+    """The pool already holds ``max_queued`` unfinished jobs (backpressure)."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(
+            f"job queue is full ({limit} unfinished job(s)); retry later"
+        )
 
 
 #: Lazily-built default registry of a worker process (one per process).
@@ -72,11 +90,17 @@ class WorkerPool:
         max_workers: int = 2,
         store: JobStore | None = None,
         use_processes: bool = False,
+        max_queued: int | None = None,
+        journal: JobJournal | None = None,
     ):
+        if max_queued is not None and max_queued < 1:
+            raise ValueError("max_queued must be >= 1 (or None for unbounded)")
         self.registry = registry
         self.cache = cache if cache is not None else ResultCache()
         self.store = store if store is not None else JobStore()
         self.use_processes = use_processes
+        self.max_queued = max_queued
+        self._journal = journal
         if use_processes:
             from .registry import build_default_registry
 
@@ -96,9 +120,12 @@ class WorkerPool:
         self.max_workers = max_workers
         self._lock = threading.Lock()
         self._inflight: dict[str, str] = {}  # digest -> job_id
+        self._futures: dict[str, Future] = {}  # job_id -> executor future
         self._submitted = 0
         self._cache_hits = 0
         self._dedup_hits = 0
+        self._cancelled = 0
+        self._rejected = 0
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -113,11 +140,15 @@ class WorkerPool:
         params = {**declared.defaults, **dict(params or {})}
         digest = job_digest(job_type, params)
         with self._lock:
-            cached = self.cache.get(digest)
-            if cached is not None:
+            # A sentinel default tells a miss apart from a cached ``None``
+            # result (a legitimate value that must still hit).
+            cached = self.cache.get(digest, MISSING)
+            if cached is not MISSING:
                 job = self.store.create(job_type, params, digest)
                 job.mark_done(cached, cache_hit=True)
                 self._cache_hits += 1
+                self._record_submit(job)
+                self._record_finish(job)
                 return job
             existing_id = self._inflight.get(digest)
             if existing_id is not None:
@@ -126,18 +157,14 @@ class WorkerPool:
                     existing.dedup_count += 1
                     self._dedup_hits += 1
                     return existing
+            if self.max_queued is not None and len(self._inflight) >= self.max_queued:
+                self._rejected += 1
+                raise QueueFullError(self.max_queued)
             job = self.store.create(job_type, params, digest)
             self._inflight[digest] = job.job_id
             self._submitted += 1
-        if self.use_processes:
-            # The job body runs in another process; bookkeeping happens here
-            # via the future's completion callback (an executor thread).
-            future = self._executor.submit(_process_run, job.job_type, job.params)
-            future.add_done_callback(
-                lambda fut, job=job: self._finish_process_job(job, fut)
-            )
-        else:
-            self._executor.submit(self._execute, job)
+        self._record_submit(job)
+        self._dispatch(job)
         return job
 
     def run(self, job_type: str, params: dict | None = None, timeout: float | None = None) -> Job:
@@ -146,6 +173,116 @@ class WorkerPool:
         if not job.wait(timeout):
             raise TimeoutError(f"job {job.job_id} ({job_type}) did not finish in {timeout}s")
         return job
+
+    def restore_job(
+        self,
+        job_id: str,
+        job_type: str,
+        params: dict,
+        digest: str,
+        state: JobState | None = None,
+        error: str | None = None,
+    ) -> tuple[Job, bool]:
+        """Re-create a pre-restart job under its historical id (journal replay).
+
+        Returns ``(job, requeued)``: DONE jobs are rebuilt from the result
+        cache without recomputing; FAILED/CANCELLED keep their terminal state;
+        anything else — including a DONE job whose payload did not survive the
+        restart — is re-enqueued for execution.  Backpressure does not apply:
+        these jobs were accepted before the restart.
+        """
+        with self._lock:
+            job = self.store.restore(job_id, job_type, params, digest)
+        if state is JobState.FAILED:
+            job.mark_failed(error or "failed before service restart")
+            return job, False
+        if state is JobState.CANCELLED:
+            job.mark_cancelled(error or "cancelled before service restart")
+            return job, False
+        # DONE — or unfinished with a persisted result (the crash landed
+        # between the cache store and the journal's finish line): either way
+        # the cache payload stands in and nothing recomputes.
+        cached = self.cache.get(digest, MISSING)
+        if cached is not MISSING:
+            job.mark_done(cached, cache_hit=True)
+            with self._lock:
+                self._cache_hits += 1
+            if state is not JobState.DONE:
+                self._record_finish(job)  # the journal lacked this line
+            return job, False
+        # Unfinished (or completed but its payload is gone): run it again.
+        with self._lock:
+            self._inflight[digest] = job.job_id
+            self._submitted += 1
+        self._dispatch(job)
+        return job, True
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Cancel a queued job; returns the job (any state) or ``None``.
+
+        Only jobs a worker has not picked up yet can be cancelled — callers
+        inspect the returned job's state to see whether the cancel landed
+        (CANCELLED) or the job was already running/finished.
+        """
+        job = self.store.get(job_id)
+        if job is None or job.state.finished:
+            return job
+        # submit() releases the pool lock before _dispatch registers the
+        # future, so an immediate cancel can observe a QUEUED job with no
+        # future yet; wait out that window briefly instead of refusing.
+        future = None
+        for _ in range(25):
+            with self._lock:
+                future = self._futures.get(job_id)
+            if future is not None or job.state.finished:
+                break
+            time.sleep(0.002)
+        # future.cancel() fires done-callbacks synchronously, so it must run
+        # outside the pool lock; it is atomic against executor pickup.
+        if future is None or not future.cancel():
+            return job
+        job.mark_cancelled()
+        self._record_finish(job)
+        with self._lock:
+            if self._inflight.get(job.digest) == job.job_id:
+                del self._inflight[job.digest]
+            self._futures.pop(job_id, None)
+            self._cancelled += 1
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Execution internals
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, job: Job) -> None:
+        if self.use_processes:
+            # The job body runs in another process; bookkeeping happens here
+            # via the future's completion callback (an executor thread).
+            future = self._executor.submit(_process_run, job.job_type, job.params)
+            future.add_done_callback(
+                lambda fut, job=job: self._finish_process_job(job, fut)
+            )
+        else:
+            future = self._executor.submit(self._execute, job)
+        with self._lock:
+            # A fast job may already be finished (its cleanup saw no entry);
+            # only track futures whose jobs can still be cancelled.
+            if not job.state.finished:
+                self._futures[job.job_id] = future
+
+    def _record_submit(self, job: Job) -> None:
+        if self._journal is not None:
+            self._journal.record_submit(job)
+
+    def _record_finish(self, job: Job) -> None:
+        if self._journal is not None:
+            self._journal.record_finish(job)
+
+    def _cleanup(self, job: Job) -> None:
+        with self._lock:
+            if self._inflight.get(job.digest) == job.job_id:
+                del self._inflight[job.digest]
+            self._futures.pop(job.job_id, None)
 
     def _execute(self, job: Job) -> None:
         job.mark_running()
@@ -158,11 +295,15 @@ class WorkerPool:
         except Exception:
             job.mark_failed(traceback.format_exc())
         finally:
-            with self._lock:
-                self._inflight.pop(job.digest, None)
+            self._record_finish(job)
+            self._cleanup(job)
 
     def _finish_process_job(self, job: Job, future: Future) -> None:
         """Completion callback for process-mode jobs (runs on an executor thread)."""
+        if future.cancelled():
+            # WorkerPool.cancel() owns the bookkeeping for this path (the
+            # callback fires synchronously inside future.cancel()).
+            return
         try:
             run_seconds, result = future.result()
             job.backfill_running(run_seconds)
@@ -171,8 +312,8 @@ class WorkerPool:
         except Exception:
             job.mark_failed(traceback.format_exc())
         finally:
-            with self._lock:
-                self._inflight.pop(job.digest, None)
+            self._record_finish(job)
+            self._cleanup(job)
 
     # ------------------------------------------------------------------ #
     # Introspection / shutdown
@@ -185,6 +326,7 @@ class WorkerPool:
                 self._cache_hits,
                 self._dedup_hits,
             )
+            cancelled, rejected = self._cancelled, self._rejected
             inflight = len(self._inflight)
         return {
             "workers": self.max_workers,
@@ -192,6 +334,9 @@ class WorkerPool:
             "executed": submitted,
             "cache_hits": cache_hits,
             "dedup_hits": dedup_hits,
+            "cancelled": cancelled,
+            "rejected": rejected,
+            "max_queued": self.max_queued,
             "inflight": inflight,
             "states": self.store.counts(),
         }

@@ -1,0 +1,263 @@
+"""Tests for federated campaign dispatch across remote serve nodes.
+
+The load-bearing property: a campaign dispatched over N nodes — including
+after node loss and across resume boundaries — produces ``report.json`` /
+``report.csv`` byte-identical to the same campaign run locally.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.campaign import CampaignRunner, parse_spec
+from repro.campaign.dispatch import CampaignDispatcher, DispatchError
+from repro.service import create_server
+from repro.service.client import ServiceClient, ServiceUnavailable
+
+#: Six fast deterministic cells across a two-grid DAG.
+SPEC = {
+    "name": "dispatch-test",
+    "grids": [
+        {
+            "name": "quant",
+            "scenario": "quantize_tensor",
+            "params": {"rows": 16, "cols": 64, "backend": "ptq"},
+            "sweep": {"bits": [4, 6, 8]},
+        },
+        {
+            "name": "prune",
+            "scenario": "prune_tensor",
+            "params": {"rows": 32, "cols": 128},
+            "sweep": {"num_columns": [2, 4, 6]},
+            "depends_on": ["quant"],
+        },
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    servers = []
+    threads = []
+    for _ in range(2):
+        server = create_server(port=0, max_workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        threads.append(thread)
+    yield [f"http://127.0.0.1:{server.port}" for server in servers]
+    for server, thread in zip(servers, threads):
+        server.close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def local_reports(tmp_path_factory):
+    """The reference run: the same campaign executed by the local runner."""
+    run_dir = tmp_path_factory.mktemp("local-reference")
+    runner = CampaignRunner(parse_spec(SPEC), run_dir, jobs=2)
+    runner.run()
+    return (
+        (run_dir / "report.json").read_bytes(),
+        (run_dir / "report.csv").read_bytes(),
+    )
+
+
+def fast_client(url, **kwargs):
+    kwargs.setdefault("retries", 1)
+    kwargs.setdefault("backoff", 0.01)
+    kwargs.setdefault("timeout", 30.0)
+    return ServiceClient(url, **kwargs)
+
+
+class TestTwoNodeDispatch:
+    def test_report_is_byte_identical_to_local_run(self, fleet, local_reports, tmp_path):
+        dispatcher = CampaignDispatcher(
+            parse_spec(SPEC), fleet, tmp_path / "run",
+            poll_interval=0.02, client_factory=fast_client,
+        )
+        stats = dispatcher.run()
+        assert stats["report_written"] and stats["failed"] == 0
+        assert stats["executed"] + stats["skipped_checkpointed"] == 6
+        assert (tmp_path / "run/report.json").read_bytes() == local_reports[0]
+        assert (tmp_path / "run/report.csv").read_bytes() == local_reports[1]
+
+    def test_dispatch_resumes_from_checkpoints(self, fleet, local_reports, tmp_path):
+        run_dir = tmp_path / "resumable"
+        spec = parse_spec(SPEC)
+        # Partially complete the campaign locally (2 cells), then dispatch
+        # the remainder into the same run directory.
+        partial = CampaignRunner(spec, run_dir, jobs=1, max_jobs=2)
+        stats = partial.run()
+        assert stats["interrupted"] and stats["executed"] == 2
+
+        dispatcher = CampaignDispatcher(
+            spec, fleet, run_dir, poll_interval=0.02, client_factory=fast_client
+        )
+        stats = dispatcher.run()
+        assert stats["skipped_checkpointed"] == 2
+        assert stats["executed"] == 4
+        assert stats["report_written"]
+        assert (run_dir / "report.json").read_bytes() == local_reports[0]
+        assert (run_dir / "report.csv").read_bytes() == local_reports[1]
+
+    def test_dispatch_tolerates_dead_node_at_start(self, fleet, local_reports, tmp_path):
+        endpoints = ["http://127.0.0.1:1", *fleet]  # port 1: connection refused
+        dispatcher = CampaignDispatcher(
+            parse_spec(SPEC), endpoints, tmp_path / "run",
+            poll_interval=0.02, client_factory=fast_client,
+        )
+        stats = dispatcher.run()
+        assert stats["report_written"]
+        dead = next(n for n in stats["nodes"] if n["url"] == "http://127.0.0.1:1")
+        assert not dead["alive"] and dead["completed"] == 0
+        assert (tmp_path / "run/report.json").read_bytes() == local_reports[0]
+
+
+class TestNodeLossMidRun:
+    def test_cells_reassign_when_a_node_dies_mid_run(self, fleet, local_reports, tmp_path):
+        dying_url = fleet[1]
+        state = {"completed": 0}
+
+        def flaky_factory(url, **kwargs):
+            client = fast_client(url, **kwargs)
+            if url != dying_url:
+                return client
+            real_result, real_job, real_submit = client.result, client.job, client.submit
+
+            def result(job_id):
+                record = real_result(job_id)
+                state["completed"] += 1
+                return record
+
+            def dead_after_first(method):
+                def inner(*args, **kw):
+                    if state["completed"] >= 1:
+                        raise ServiceUnavailable(url, 1, "simulated node loss")
+                    return method(*args, **kw)
+                return inner
+
+            client.result = dead_after_first(result)
+            client.job = dead_after_first(real_job)
+            client.submit = dead_after_first(real_submit)
+            return client
+
+        dispatcher = CampaignDispatcher(
+            parse_spec(SPEC), fleet, tmp_path / "run",
+            poll_interval=0.02, client_factory=flaky_factory,
+        )
+        stats = dispatcher.run()
+        assert stats["report_written"] and stats["failed"] == 0
+        lost = next(n for n in stats["nodes"] if n["url"] == dying_url)
+        survivor = next(n for n in stats["nodes"] if n["url"] != dying_url)
+        assert not lost["alive"] and "simulated node loss" in lost["reason"]
+        assert survivor["alive"]
+        # The killed node's outstanding cells all landed on the survivor and
+        # the merged report is still byte-identical to the local run.
+        assert stats["executed"] + stats["skipped_checkpointed"] == 6
+        assert (tmp_path / "run/report.json").read_bytes() == local_reports[0]
+        assert (tmp_path / "run/report.csv").read_bytes() == local_reports[1]
+
+    def test_all_nodes_dead_raises_dispatch_error(self, tmp_path):
+        dispatcher = CampaignDispatcher(
+            parse_spec(SPEC),
+            ["http://127.0.0.1:1", "http://127.0.0.1:2"],
+            tmp_path / "run",
+            client_factory=lambda url, **kw: ServiceClient(url, retries=0, backoff=0.0),
+        )
+        with pytest.raises(DispatchError, match="no reachable service node"):
+            dispatcher.run()
+        # The run directory is prepared, so a later dispatch/run can resume.
+        assert (tmp_path / "run" / "manifest.json").is_file()
+
+    def test_registry_skew_refuses_the_node(self, fleet, local_reports, tmp_path):
+        skewed_url = fleet[0]
+
+        def skewed_factory(url, **kwargs):
+            client = fast_client(url, **kwargs)
+            if url != skewed_url:
+                return client
+            real_submit = client.submit
+
+            def submit(job_type, params=None, wait=None):
+                record = dict(real_submit(job_type, params, wait=wait))
+                record["digest"] = "0" * 64  # node disagrees on content identity
+                return record
+
+            client.submit = submit
+            return client
+
+        dispatcher = CampaignDispatcher(
+            parse_spec(SPEC), fleet, tmp_path / "run",
+            poll_interval=0.02, client_factory=skewed_factory,
+        )
+        stats = dispatcher.run()
+        skewed = next(n for n in stats["nodes"] if n["url"] == skewed_url)
+        assert not skewed["alive"] and "registry skew" in skewed["reason"]
+        assert stats["report_written"]
+        assert (tmp_path / "run/report.json").read_bytes() == local_reports[0]
+
+
+class TestBackpressureAndLivelock:
+    def test_saturated_node_is_not_marked_dead(self, tmp_path, local_reports):
+        # One node whose queue bound is far below the dispatch window: 429s
+        # are backpressure, not node loss — the dispatch must still finish.
+        server = create_server(port=0, max_workers=1, max_queued=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            dispatcher = CampaignDispatcher(
+                parse_spec(SPEC),
+                [f"http://127.0.0.1:{server.port}"],
+                tmp_path / "run",
+                poll_interval=0.02,
+                max_inflight=6,
+                client_factory=lambda url, **kw: ServiceClient(
+                    url, retries=1, backoff=0.01
+                ),
+            )
+            stats = dispatcher.run()
+        finally:
+            server.close()
+            thread.join(timeout=10)
+        assert stats["report_written"]
+        (node,) = stats["nodes"]
+        assert node["alive"], "a busy node must never be declared dead"
+        assert (tmp_path / "run/report.json").read_bytes() == local_reports[0]
+
+    def test_persistent_result_error_fails_the_cell_not_the_loop(self, fleet, tmp_path):
+        from repro.service.client import ServiceRequestError
+
+        def poisoned_factory(url, **kwargs):
+            client = fast_client(url, **kwargs)
+
+            def result(job_id):
+                raise ServiceRequestError(500, {"error": "poisoned"}, url)
+
+            client.result = result
+            return client
+
+        from repro.campaign import CampaignRunError
+
+        dispatcher = CampaignDispatcher(
+            parse_spec(SPEC), fleet[:1], tmp_path / "run",
+            poll_interval=0.01, client_factory=poisoned_factory,
+        )
+        with pytest.raises(CampaignRunError):
+            dispatcher.run()
+        assert dispatcher.stats["failed"] >= 1
+        # Bounded retries, not a livelock: the run ended and recorded stats.
+
+
+class TestDispatcherValidation:
+    def test_requires_at_least_one_endpoint(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            CampaignDispatcher(parse_spec(SPEC), [], tmp_path / "run")
+
+    def test_rejects_non_positive_window(self, tmp_path):
+        with pytest.raises(ValueError, match="max_inflight"):
+            CampaignDispatcher(
+                parse_spec(SPEC), ["http://x"], tmp_path / "run", max_inflight=0
+            )

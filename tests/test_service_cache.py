@@ -125,3 +125,60 @@ class TestResultCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.get("a") == [1]
+
+
+class TestNoneValues:
+    """A result of None is a value, not an absence (regression: a scenario
+    returning None could never cache-hit and was recomputed every time)."""
+
+    def test_cached_none_is_a_hit_with_sentinel_default(self):
+        from repro.core.cache import MISSING
+
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k", MISSING) is MISSING
+        cache.put("k", None)
+        assert cache.get("k", MISSING) is None
+        assert cache.stats()["hits"] == 1
+
+    def test_cached_none_survives_disk_round_trip(self, tmp_path):
+        from repro.core.cache import MISSING
+
+        first = ResultCache(max_entries=4, directory=tmp_path)
+        first.put("k", None)
+        reopened = ResultCache(max_entries=4, directory=tmp_path)
+        assert reopened.get("k", MISSING) is None
+        assert reopened.stats()["disk_hits"] == 1
+
+    def test_missing_sentinel_is_exported_by_service_shim(self):
+        from repro.core.cache import MISSING as core_missing
+        from repro.service import MISSING as service_missing
+
+        assert service_missing is core_missing
+
+
+class TestBestEffortPersistence:
+    """Disk persistence must never fail a successfully computed result
+    (regression: a non-JSON value raised after the in-memory store, failing
+    the job and leaking the temp file)."""
+
+    def test_unserializable_value_still_cached_in_memory(self, tmp_path):
+        cache = ResultCache(max_entries=4, directory=tmp_path)
+        value = {"handle": object()}  # not JSON-serializable
+        cache.put("k", value)  # must not raise
+        assert cache.get("k") is value
+        assert cache.stats()["disk_errors"] == 1
+
+    def test_failed_disk_write_leaves_no_tmp_file(self, tmp_path):
+        cache = ResultCache(max_entries=4, directory=tmp_path)
+        cache.put("bad", {"handle": object()})
+        cache.put("good", {"x": 1})
+        leftovers = [path.name for path in tmp_path.iterdir()]
+        assert leftovers == ["good.json"], f"unexpected files: {leftovers}"
+
+    def test_unserializable_value_not_readable_after_restart(self, tmp_path):
+        from repro.core.cache import MISSING
+
+        cache = ResultCache(max_entries=4, directory=tmp_path)
+        cache.put("k", {"handle": object()})
+        reopened = ResultCache(max_entries=4, directory=tmp_path)
+        assert reopened.get("k", MISSING) is MISSING

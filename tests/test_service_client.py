@@ -1,0 +1,93 @@
+"""Tests for the typed stdlib service client (retries, backoff, errors)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import ResultCache, create_server
+from repro.service.client import (
+    JobFailedError,
+    ServiceClient,
+    ServiceRequestError,
+    ServiceUnavailable,
+)
+from tests.test_service_hardening import build_registry
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = create_server(port=0, registry=build_registry(),
+                           cache=ResultCache(max_entries=32), max_workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(f"http://127.0.0.1:{server.port}", retries=1, backoff=0.01)
+
+
+class TestEndpoints:
+    def test_health_and_scenarios(self, client):
+        assert client.health()["status"] == "ok"
+        assert {entry["name"] for entry in client.scenarios()} >= {"echo", "slow"}
+
+    def test_submit_wait_and_result(self, client):
+        record = client.submit("echo", {"value": 11}, wait=30)
+        assert record["state"] == "done"
+        assert client.result(record["job_id"])["result"] == {"value": 11}
+        assert client.job(record["job_id"])["state"] == "done"
+
+    def test_jobs_listing_pagination(self, client):
+        client.submit("echo", {"value": 21}, wait=30)
+        client.submit("echo", {"value": 22}, wait=30)
+        listing = client.jobs(state="done", limit=1)
+        assert listing["total"] >= 2 and len(listing["jobs"]) == 1
+
+    def test_run_job_returns_payload(self, client):
+        assert client.run_job("echo", {"value": 33}) == {"value": 33}
+
+    def test_run_job_raises_on_remote_failure(self, server):
+        client = ServiceClient(f"http://127.0.0.1:{server.port}", retries=0)
+        record = client.submit("echo", {"bogus": 1}, wait=30)  # unknown param fails the job
+        assert record["state"] == "failed"
+        with pytest.raises(JobFailedError, match="unknown parameter"):
+            client.run_job("echo", {"bogus": 1})
+
+
+class TestErrorTaxonomy:
+    def test_bad_request_is_typed_with_status_and_payload(self, client):
+        with pytest.raises(ServiceRequestError) as excinfo:
+            client.submit("no-such-scenario", {})
+        assert excinfo.value.status == 400
+        assert "unknown job type" in excinfo.value.payload["error"]
+
+    def test_unknown_job_is_request_error_not_retried(self, client):
+        with pytest.raises(ServiceRequestError) as excinfo:
+            client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_dead_endpoint_retries_then_raises_unavailable(self):
+        sleeps: list[float] = []
+        client = ServiceClient(
+            "http://127.0.0.1:1", retries=3, backoff=0.5, sleep=sleeps.append
+        )
+        with pytest.raises(ServiceUnavailable, match="after 4 attempt"):
+            client.health()
+        assert sleeps == [0.5, 1.0, 2.0], "exponential backoff between retries"
+
+    def test_zero_retries_fails_fast(self):
+        sleeps: list[float] = []
+        client = ServiceClient("http://127.0.0.1:1", retries=0, sleep=sleeps.append)
+        with pytest.raises(ServiceUnavailable, match="after 1 attempt"):
+            client.health()
+        assert sleeps == []
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServiceClient("http://x", retries=-1)

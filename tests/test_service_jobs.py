@@ -19,13 +19,17 @@ from repro.service import (
 def registry():
     """A tiny registry of instrumented job types (fast, controllable)."""
     registry = ScenarioRegistry()
-    calls = {"echo": 0, "boom": 0, "slow": 0}
+    calls = {"echo": 0, "boom": 0, "slow": 0, "none": 0}
     gate = threading.Event()
     started = threading.Event()
 
     def echo(value=0):
         calls["echo"] += 1
         return {"value": value}
+
+    def none_result(value=0):
+        calls["none"] += 1
+        return None
 
     def boom(value=0):
         calls["boom"] += 1
@@ -40,6 +44,7 @@ def registry():
     registry.add("echo", "echo the params", echo, {"value": 0})
     registry.add("boom", "always fails", boom, {"value": 0})
     registry.add("slow", "blocks until released", slow, {"value": 0})
+    registry.add("none", "returns None", none_result, {"value": 0})
     registry.calls = calls
     registry.gate = gate
     registry.started = started
@@ -138,6 +143,85 @@ class TestCachingAndDedup:
         registry.gate.set()
         assert slow.wait(10)
         assert slow.state is JobState.DONE
+
+    def test_none_result_is_cached(self, pool, registry):
+        # Regression: a None result used to read as a cache miss forever.
+        first = pool.run("none", {"value": 4}, timeout=10)
+        assert first.state is JobState.DONE and first.result is None
+        second = pool.run("none", {"value": 4}, timeout=10)
+        assert second.cache_hit and second.result is None
+        assert registry.calls["none"] == 1
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, registry):
+        with WorkerPool(registry, cache=ResultCache(), max_workers=1) as pool:
+            running = pool.submit("slow", {"value": 1})
+            assert registry.started.wait(10)
+            queued = pool.submit("echo", {"value": 1})
+            assert queued.state is JobState.QUEUED
+
+            cancelled = pool.cancel(queued.job_id)
+            assert cancelled is queued
+            assert queued.state is JobState.CANCELLED
+            assert queued.wait(1)  # cancellation completes the job event
+            assert pool.stats()["cancelled"] == 1
+            assert registry.calls["echo"] == 0, "cancelled job must never run"
+
+            registry.gate.set()
+            assert running.wait(10)
+            # The digest is free again: resubmission runs the job.
+            rerun = pool.run("echo", {"value": 1}, timeout=10)
+            assert rerun.state is JobState.DONE
+            assert registry.calls["echo"] == 1
+
+    def test_cancel_running_job_is_refused(self, registry):
+        with WorkerPool(registry, cache=ResultCache(), max_workers=1) as pool:
+            running = pool.submit("slow", {"value": 2})
+            assert registry.started.wait(10)
+            refused = pool.cancel(running.job_id)
+            assert refused is running
+            assert running.state is JobState.RUNNING
+            registry.gate.set()
+            assert running.wait(10)
+            assert running.state is JobState.DONE
+
+    def test_cancel_unknown_job_returns_none(self, pool):
+        assert pool.cancel("job-999999") is None
+
+    def test_cancel_finished_job_keeps_its_state(self, pool):
+        done = pool.run("echo", {"value": 8}, timeout=10)
+        assert pool.cancel(done.job_id) is done
+        assert done.state is JobState.DONE
+
+
+class TestBackpressure:
+    def test_submit_raises_when_queue_full(self, registry):
+        from repro.service import QueueFullError
+
+        with WorkerPool(
+            registry, cache=ResultCache(), max_workers=1, max_queued=2
+        ) as pool:
+            pool.submit("slow", {"value": 1})
+            assert registry.started.wait(10)
+            pool.submit("echo", {"value": 1})
+            with pytest.raises(QueueFullError, match="queue is full"):
+                pool.submit("echo", {"value": 2})
+            assert pool.stats()["rejected"] == 1
+
+            # Dedup and cache hits are never rejected: they add no load.
+            dedup = pool.submit("echo", {"value": 1})
+            assert dedup.dedup_count == 1
+
+            registry.gate.set()
+            dedup.wait(10)
+            # Draining the queue re-opens submission.
+            job = pool.run("echo", {"value": 2}, timeout=10)
+            assert job.state is JobState.DONE
+
+    def test_invalid_limit_rejected(self, registry):
+        with pytest.raises(ValueError, match="max_queued"):
+            WorkerPool(registry, cache=ResultCache(), max_queued=0)
 
 
 class TestJobStoreBounds:
