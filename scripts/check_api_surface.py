@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI guard for the public API surface of the codec layer and the /v1 HTTP API.
+
+Snapshots, as plain JSON:
+
+* the public symbols of :mod:`repro.codecs` (``__all__``),
+* every registered codec with its version and parameter names,
+* the versioned HTTP route table (``repro.service.V1_ROUTES``),
+* the scenario names of the default registry.
+
+and compares the snapshot against the committed ``API_SURFACE.json``
+baseline.  Any drift fails CI with a field-by-field diff, so breaking an
+API consumer (removing a codec parameter, renaming a route, dropping a
+scenario) is always an explicit, reviewed change:
+
+    python scripts/check_api_surface.py            # verify (CI)
+    python scripts/check_api_surface.py --update   # rewrite the baseline
+
+Additive changes are also flagged — the baseline is the reviewed contract,
+not a lower bound — but refreshing it is one ``--update`` commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "API_SURFACE.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def current_surface() -> dict:
+    from repro import codecs
+    from repro.service import API_VERSION, V1_ROUTES, build_default_registry
+
+    return {
+        "api_version": API_VERSION,
+        "codecs": {
+            schema["name"]: {
+                "version": schema["version"],
+                "lossless": schema["lossless"],
+                "params": sorted(schema["params"]),
+            }
+            for schema in codecs.describe_codecs()
+        },
+        "codecs_module": sorted(codecs.__all__),
+        "scenarios": build_default_registry().names(),
+        "v1_routes": sorted(V1_ROUTES),
+    }
+
+
+def _diff(baseline: dict, current: dict, path: str = "") -> list[str]:
+    lines: list[str] = []
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in sorted(set(baseline) | set(current)):
+            where = f"{path}.{key}" if path else key
+            if key not in baseline:
+                lines.append(f"added   {where}: {json.dumps(current[key])}")
+            elif key not in current:
+                lines.append(f"removed {where}: {json.dumps(baseline[key])}")
+            else:
+                lines.extend(_diff(baseline[key], current[key], where))
+    elif baseline != current:
+        lines.append(
+            f"changed {path}: {json.dumps(baseline)} -> {json.dumps(current)}"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite API_SURFACE.json from the current code",
+    )
+    args = parser.parse_args(argv)
+
+    surface = current_surface()
+    rendered = json.dumps(surface, indent=2, sort_keys=True) + "\n"
+
+    if args.update:
+        BASELINE_PATH.write_text(rendered)
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.is_file():
+        print(f"error: {BASELINE_PATH} is missing; run with --update", file=sys.stderr)
+        return 1
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except json.JSONDecodeError as error:
+        print(f"error: {BASELINE_PATH} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+
+    drift = _diff(baseline, surface)
+    if drift:
+        print("API surface drift vs committed API_SURFACE.json:", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "\nIf this change is intentional, refresh the baseline with:\n"
+            "  python scripts/check_api_surface.py --update",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"API surface OK: {len(surface['codecs'])} codecs, "
+        f"{len(surface['v1_routes'])} /v1 routes, "
+        f"{len(surface['scenarios'])} scenarios"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

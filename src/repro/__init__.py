@@ -16,6 +16,12 @@ The package is organised into six subpackages:
   baseline accelerators (Stripes, Pragmatic, Bitlet, BitWave, SparTen, ANT).
 * :mod:`repro.eval` — the experiment harness that regenerates every table and
   figure of the paper's evaluation section.
+* :mod:`repro.codecs` — the composable Codec API: every compression backend
+  (quant baselines, BBS pruning, bit-plane encoding) behind one registry with
+  uniform results, chained pipelines, and versioned service discovery.
+
+(:mod:`repro.service` and :mod:`repro.campaign` — the job-queue HTTP service
+and the declarative campaign engine — import lazily; see their docstrings.)
 
 Quickstart::
 
@@ -31,6 +37,15 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import accelerators, core, eval, memory, nn, quant
+from . import accelerators, codecs, core, eval, memory, nn, quant
 
-__all__ = ["accelerators", "core", "eval", "memory", "nn", "quant", "__version__"]
+__all__ = [
+    "accelerators",
+    "codecs",
+    "core",
+    "eval",
+    "memory",
+    "nn",
+    "quant",
+    "__version__",
+]

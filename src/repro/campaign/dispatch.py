@@ -60,6 +60,20 @@ class DispatchError(RuntimeError):
     """No reachable node is left to run the remaining cells."""
 
 
+def _codec_uses(job: CampaignJob) -> list[tuple[str, dict]]:
+    """Every ``(codec name, params)`` pair a ``codec_compress`` job invokes."""
+    if job.scenario != "codec_compress":
+        return []
+    uses: list[tuple[str, dict]] = []
+    name = job.params.get("codec")
+    if isinstance(name, str) and name:
+        uses.append((name, dict(job.params.get("params") or {})))
+    for stage in job.params.get("stages") or []:
+        if isinstance(stage, dict) and isinstance(stage.get("codec"), str):
+            uses.append((stage["codec"], dict(stage.get("params") or {})))
+    return uses
+
+
 @dataclass
 class _Node:
     """One remote endpoint and what the dispatcher knows about it."""
@@ -142,14 +156,59 @@ class CampaignDispatcher:
         node.reason = reason
 
     def _probe_nodes(self) -> None:
-        """Health-check every node; a node down at start is skipped, not fatal."""
+        """Health-check and registry-validate every node before submitting.
+
+        Beyond liveness, each node's ``GET /v1/scenarios`` listing is checked
+        against every scenario and parameter name the plan will submit —
+        registry skew (a node built from a different revision) is caught at
+        probe time instead of burning submissions.  A node down or skewed at
+        start is skipped, not fatal.
+        """
+        requirements: dict[str, set[str]] = {}
+        codec_requirements: dict[str, set[str]] = {}
+        for job in self.plan.jobs:
+            requirements.setdefault(job.scenario, set()).update(job.params)
+            for name, params in _codec_uses(job):
+                codec_requirements.setdefault(name, set()).update(params)
         for node in self.nodes:
             try:
                 node.client.health()
+                for scenario, param_names in sorted(requirements.items()):
+                    node.client.validate_job(scenario, dict.fromkeys(param_names))
+                if codec_requirements:
+                    self._validate_node_codecs(node, codec_requirements)
             except ServiceError as error:
                 self._mark_dead(node, f"health check failed: {error}")
+            except ValueError as error:
+                self._mark_dead(node, f"registry skew: {error}")
         if not self._alive_nodes():
             raise DispatchError(self._dead_fleet_message())
+
+    @staticmethod
+    def _validate_node_codecs(node: _Node, required: dict[str, set[str]]) -> None:
+        """Check the node's ``/v1/codecs`` against every codec the plan uses.
+
+        ``codec_compress`` cells pass the scenario-level probe on any node —
+        their codec identity lives in nested parameters — so codec-level skew
+        (a missing plugin codec, an older codec schema) must be caught here
+        or every affected cell burns its submission retries at run time.
+        """
+        available = {
+            entry["name"]: set(entry.get("params", {}))
+            for entry in node.client.codecs()
+        }
+        for name, param_names in sorted(required.items()):
+            if name not in available:
+                raise ValueError(
+                    f"{node.url}: codec {name!r} is not registered on the node; "
+                    f"available: {sorted(available)}"
+                )
+            unknown = sorted(param_names - available[name])
+            if unknown:
+                raise ValueError(
+                    f"{node.url}: codec {name!r} does not accept parameter(s) "
+                    f"{unknown}; accepted: {sorted(available[name])}"
+                )
 
     def _dead_fleet_message(self) -> str:
         details = "; ".join(f"{node.url}: {node.reason}" for node in self.nodes)

@@ -31,6 +31,24 @@ Spec layout (JSON object)::
 after every job of its dependency grids has finished, which models
 compress-then-simulate style pipelines.  The resulting graph must be acyclic.
 
+Instead of ``scenario``, a grid may name a codec of the :mod:`repro.codecs`
+registry directly — the sugar desugars onto the ``codec_compress`` scenario::
+
+    {"name": "mx-sweep", "codec": "microscaling",
+     "params": {"rows": 64}, "sweep": {"bits": [4, 6, 8]}}
+
+Tensor-source keys (``rows``/``cols``/``seed``/``scale``) stay scenario-level
+parameters; every other fixed/swept key is validated against the codec's
+``param_schema()`` and folded into its nested parameter object.  A key that
+exists in *both* namespaces (e.g. ``noisyquant``'s ``seed``) feeds both — one
+value drives the synthetic tensor and the codec alike, exactly as the legacy
+``quantize_tensor`` scenario behaved.  Likewise a
+``pipeline:`` grid sweeps a chained codec pipeline (its stage list is fixed;
+only tensor-source axes may be swept)::
+
+    {"name": "chain", "pipeline": [{"codec": "prune"}, {"codec": "ptq"}],
+     "sweep": {"seed": [0, 1, 2]}}
+
 Expansion is fully deterministic: axes are swept in sorted key order, cells
 are numbered in row-major order over those axes, and the spec digest covers
 the canonicalized spec, so two expansions of one spec agree byte-for-byte on
@@ -48,7 +66,14 @@ from typing import Any, Iterable, Mapping
 
 from ..core.hashing import stable_digest
 
+#: ``codec_compress`` parameters describing the tensor source; in ``codec:``
+#: grids these stay scenario-level while everything else nests into the
+#: codec's own parameter object.  One contract shared with the codec layer
+#: and the ``/v1/compress`` endpoint.
+from ..codecs import TENSOR_SOURCE_PARAMS as CODEC_SOURCE_PARAMS
+
 __all__ = [
+    "CODEC_SOURCE_PARAMS",
     "CampaignGrid",
     "CampaignJob",
     "CampaignPlan",
@@ -69,15 +94,23 @@ class CampaignSpecError(ValueError):
 FORBIDDEN_SCENARIOS = frozenset({"campaign"})
 
 
+
+
 @dataclass(frozen=True)
 class CampaignGrid:
-    """One parameter grid over a single registry scenario."""
+    """One parameter grid over a single registry scenario.
+
+    ``codec``/``pipeline`` record the sugar a grid was written with (see the
+    module docstring); both desugar onto the ``codec_compress`` scenario.
+    """
 
     name: str
     scenario: str
     params: Mapping[str, Any] = field(default_factory=dict)
     sweep: Mapping[str, list] = field(default_factory=dict)
     depends_on: tuple[str, ...] = ()
+    codec: str | None = None
+    pipeline: tuple[dict, ...] | None = None
 
     def axes(self) -> list[tuple[str, list]]:
         """Swept axes in sorted key order (the deterministic cell order)."""
@@ -90,11 +123,59 @@ class CampaignGrid:
         return count
 
     def cells(self) -> Iterable[dict[str, Any]]:
-        """Yield the merged parameter dict of every cell, row-major."""
+        """Yield the merged parameter dict of every cell, row-major.
+
+        ``codec:``/``pipeline:`` grids desugar onto ``codec_compress``
+        parameters with the codec-level parameters canonicalized against the
+        codec's defaults, so ``{"bits": 6}`` and a fully spelled-out
+        parameter dict land on one content digest — exactly how
+        scenario-level parameters canonicalize against registry defaults.
+        The fixed pipeline stage list is validated/canonicalized once per
+        grid, not once per cell.
+        """
+        from ..codecs import CodecError, get_codec, validate_stages
+
+        codec = stages = None
+        try:
+            if self.pipeline is not None:
+                stages = validate_stages(list(self.pipeline))
+            elif self.codec is not None:
+                codec = get_codec(self.codec)
+        except CodecError as error:
+            raise CampaignSpecError(f"grid {self.name!r}: {error}") from None
+
         axes = self.axes()
         keys = [key for key, _ in axes]
         for combo in itertools.product(*(values for _, values in axes)):
-            yield {**self.params, **dict(zip(keys, combo))}
+            merged = {**self.params, **dict(zip(keys, combo))}
+            if stages is not None:
+                source = {k: v for k, v in merged.items() if k in CODEC_SOURCE_PARAMS}
+                yield {
+                    **source,
+                    "codec": "pipeline",
+                    "stages": [
+                        {"codec": s["codec"], "params": dict(s["params"])}
+                        for s in stages
+                    ],
+                }
+            elif codec is not None:
+                # A key living in both namespaces (e.g. noisyquant's "seed")
+                # feeds both the tensor source and the codec, matching the
+                # legacy quantize_tensor scenario where one seed drove the
+                # synthetic matrix and the dither alike.
+                schema = set(codec.defaults)
+                source = {k: v for k, v in merged.items() if k in CODEC_SOURCE_PARAMS}
+                codec_params = {
+                    k: v for k, v in merged.items()
+                    if k not in CODEC_SOURCE_PARAMS or k in schema
+                }
+                try:
+                    canonical = codec.validate_params(codec_params)
+                except CodecError as error:
+                    raise CampaignSpecError(f"grid {self.name!r}: {error}") from None
+                yield {**source, "codec": self.codec, "params": canonical}
+            else:
+                yield merged
 
 
 @dataclass(frozen=True)
@@ -111,20 +192,33 @@ class CampaignSpec:
         return stable_digest("repro-campaign-spec", self.canonical())
 
     def canonical(self) -> dict:
-        """The spec reduced to exactly the fields that determine its jobs."""
+        """The spec reduced to exactly the fields that determine its jobs.
+
+        ``codec``/``pipeline`` sugar appears only when used, so the digests
+        of plain ``scenario`` specs are unchanged from earlier revisions.
+        """
+        grids = []
+        for grid in self.grids:
+            entry: dict = {
+                "name": grid.name,
+                "params": dict(grid.params),
+                "sweep": {key: list(values) for key, values in grid.sweep.items()},
+                "depends_on": list(grid.depends_on),
+            }
+            # Sugar grids keep their codec/pipeline form (the scenario is
+            # derived on parse), so the canonical spec round-trips through
+            # parse_spec — resume re-reads exactly this.
+            if grid.codec is not None:
+                entry["codec"] = grid.codec
+            elif grid.pipeline is not None:
+                entry["pipeline"] = [dict(stage) for stage in grid.pipeline]
+            else:
+                entry["scenario"] = grid.scenario
+            grids.append(entry)
         return {
             "name": self.name,
             "description": self.description,
-            "grids": [
-                {
-                    "name": grid.name,
-                    "scenario": grid.scenario,
-                    "params": dict(grid.params),
-                    "sweep": {key: list(values) for key, values in grid.sweep.items()},
-                    "depends_on": list(grid.depends_on),
-                }
-                for grid in self.grids
-            ],
+            "grids": grids,
         }
 
 
@@ -186,11 +280,33 @@ def _parse_grid(entry: Any, position: int) -> CampaignGrid:
     name = entry.get("name", f"grid{position}")
     _require(isinstance(name, str) and name, f"grids[{position}].name must be a non-empty string")
     _require("/" not in name, f"grid name {name!r} must not contain '/'")
+
     scenario = entry.get("scenario")
+    codec = entry.get("codec")
+    pipeline = entry.get("pipeline")
+    declared = [key for key in ("scenario", "codec", "pipeline") if entry.get(key) is not None]
     _require(
-        isinstance(scenario, str) and bool(scenario),
-        f"grid {name!r} needs a non-empty string 'scenario'",
+        len(declared) == 1,
+        f"grid {name!r} needs exactly one of 'scenario', 'codec', or "
+        f"'pipeline' (got {declared or 'none'})",
     )
+    if codec is not None:
+        _require(
+            isinstance(codec, str) and bool(codec),
+            f"grid {name!r}: 'codec' must be a non-empty string",
+        )
+        scenario = "codec_compress"
+    elif pipeline is not None:
+        _require(
+            isinstance(pipeline, list) and len(pipeline) > 0,
+            f"grid {name!r}: 'pipeline' must be a non-empty list of stages",
+        )
+        scenario = "codec_compress"
+    else:
+        _require(
+            isinstance(scenario, str) and bool(scenario),
+            f"grid {name!r} needs a non-empty string 'scenario'",
+        )
     _require(
         scenario not in FORBIDDEN_SCENARIOS,
         f"grid {name!r}: scenario {scenario!r} cannot be nested inside a campaign",
@@ -213,15 +329,56 @@ def _parse_grid(entry: Any, position: int) -> CampaignGrid:
         isinstance(depends_on, list) and all(isinstance(d, str) for d in depends_on),
         f"grid {name!r}: 'depends_on' must be a list of grid names",
     )
-    unknown = set(entry) - {"name", "scenario", "params", "sweep", "depends_on"}
+    unknown = set(entry) - {"name", "scenario", "codec", "pipeline", "params", "sweep", "depends_on"}
     _require(not unknown, f"grid {name!r}: unknown field(s) {sorted(unknown)}")
-    return CampaignGrid(
+
+    grid = CampaignGrid(
         name=name,
         scenario=scenario,
         params=dict(params),
         sweep={key: list(values) for key, values in sweep.items()},
         depends_on=tuple(depends_on),
+        codec=codec,
+        pipeline=tuple(dict(stage) for stage in pipeline) if pipeline is not None else None,
     )
+    _validate_codec_grid(grid)
+    return grid
+
+
+def _validate_codec_grid(grid: CampaignGrid) -> None:
+    """Early validation of ``codec:``/``pipeline:`` sugar (parse time).
+
+    Codec names, stage lists, and codec parameter names are checked against
+    the :mod:`repro.codecs` registry so a typo fails ``parse_spec`` — the
+    same place scenario-level mistakes fail — instead of every expanded cell.
+    """
+    if grid.codec is None and grid.pipeline is None:
+        return
+    from ..codecs import CodecError, get_codec, validate_stages
+
+    _require(
+        grid.codec != "pipeline",
+        f"grid {grid.name!r}: write pipelines with the 'pipeline' grid field "
+        "(a stage list), not codec: \"pipeline\" — stage lists are validated "
+        "and canonicalized only through that form",
+    )
+    grid_keys = set(grid.params) | set(grid.sweep)
+    try:
+        if grid.pipeline is not None:
+            validate_stages(list(grid.pipeline))
+            foreign = sorted(grid_keys - set(CODEC_SOURCE_PARAMS))
+            _require(
+                not foreign,
+                f"grid {grid.name!r}: pipeline grids may only set/sweep the "
+                f"tensor-source parameters {sorted(CODEC_SOURCE_PARAMS)}; "
+                f"got {foreign} (stage parameters belong in the stage objects)",
+            )
+        else:
+            codec = get_codec(grid.codec)
+            codec_keys = grid_keys - set(CODEC_SOURCE_PARAMS)
+            codec.validate_params(dict.fromkeys(codec_keys))
+    except CodecError as error:
+        raise CampaignSpecError(f"grid {grid.name!r}: {error}") from None
 
 
 def parse_spec(raw: Any) -> CampaignSpec:
@@ -315,14 +472,28 @@ def expand_spec(spec: CampaignSpec, registry=None) -> CampaignPlan:
             except ValueError as error:
                 raise CampaignSpecError(f"grid {grid.name!r}: {error}") from None
             defaults = declared.defaults
-            unknown = sorted(
-                (set(grid.params) | set(grid.sweep)) - set(defaults)
-            )
-            _require(
-                not unknown,
-                f"grid {grid.name!r}: unknown parameter(s) {unknown} for scenario "
-                f"{grid.scenario!r}; accepted: {sorted(defaults)}",
-            )
+            if grid.codec is None and grid.pipeline is None:
+                unknown = sorted(
+                    (set(grid.params) | set(grid.sweep)) - set(defaults)
+                )
+                _require(
+                    not unknown,
+                    f"grid {grid.name!r}: unknown parameter(s) {unknown} for scenario "
+                    f"{grid.scenario!r}; accepted: {sorted(defaults)}",
+                )
+            else:
+                # codec:/pipeline: sugar — grid keys were validated against
+                # the codec registry at parse time; only the tensor-source
+                # keys must exist on the scenario this sugar desugars onto.
+                foreign = sorted(
+                    (set(grid.params) | set(grid.sweep))
+                    & set(CODEC_SOURCE_PARAMS) - set(defaults)
+                )
+                _require(
+                    not foreign,
+                    f"grid {grid.name!r}: parameter(s) {foreign} not accepted by "
+                    f"scenario {grid.scenario!r}",
+                )
         for index, cell_params in enumerate(grid.cells()):
             params = {**defaults, **cell_params} if defaults is not None else cell_params
             jobs.append(

@@ -18,6 +18,10 @@ Examples::
     python -m repro.cli campaign run examples/campaign_pruning_grid.json --jobs 2
     python -m repro.cli campaign resume runs/pruning-grid-0123456789ab
     python -m repro.cli campaign report runs/pruning-grid-0123456789ab
+    python -m repro.cli codec list
+    python -m repro.cli codec run microscaling --param bits=4 --rows 64
+    python -m repro.cli codec run pipeline --stages \
+        '[{"codec": "prune"}, {"codec": "ptq", "params": {"bits": 6}}]'
 """
 
 from __future__ import annotations
@@ -227,6 +231,38 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="seconds between remote status sweeps",
     )
+
+    codec_parser = subparsers.add_parser(
+        "codec", help="run or list the composable compression codecs"
+    )
+    codec_sub = codec_parser.add_subparsers(dest="codec_command", required=True)
+
+    codec_list = codec_sub.add_parser("list", help="list registered codecs + schemas")
+    codec_list.add_argument("--json", action="store_true", help="emit the full schemas")
+
+    codec_run = codec_sub.add_parser(
+        "run", help="compress one synthetic Gaussian matrix with a codec"
+    )
+    codec_run.add_argument("codec", help="codec name (see `repro codec list`)")
+    codec_run.add_argument("--rows", type=int, default=128)
+    codec_run.add_argument("--cols", type=int, default=1024)
+    codec_run.add_argument("--seed", type=int, default=0)
+    codec_run.add_argument("--scale", type=float, default=1.0)
+    codec_run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="codec parameter (repeatable; VALUE parsed as JSON, else string)",
+    )
+    codec_run.add_argument(
+        "--stages",
+        default=None,
+        metavar="JSON",
+        help="pipeline stage list (JSON text or a path to a JSON file); "
+        "implies the pipeline codec",
+    )
+    codec_run.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     return parser
 
 
@@ -274,7 +310,10 @@ def _serve(args: argparse.Namespace) -> int:
         )
     if args.max_queued is not None:
         print(f"  backpressure: 429 beyond {args.max_queued} unfinished job(s)")
-    print("  endpoints: /health /scenarios /jobs /cache/stats  (Ctrl-C to stop)")
+    print(
+        "  endpoints: /v1/health /v1/scenarios /v1/codecs /v1/compress /v1/jobs "
+        "/v1/cache/stats  (Ctrl-C to stop)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -418,6 +457,98 @@ def _campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cli_params(pairs: list[str]) -> dict:
+    """``--param key=value`` pairs -> dict (values JSON-decoded when possible)."""
+    params = {}
+    for pair in pairs:
+        key, separator, text = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--param must look like KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(text)
+        except json.JSONDecodeError:
+            params[key] = text
+    return params
+
+
+def _codec(args: argparse.Namespace) -> int:
+    from . import codecs
+    from .eval.reporting import format_table
+
+    if args.codec_command == "list":
+        schemas = codecs.describe_codecs()
+        if args.json:
+            print(json.dumps(schemas, indent=2, sort_keys=True))
+            return 0
+        rows = [
+            {
+                "codec": schema["name"],
+                "version": schema["version"],
+                "lossless": schema["lossless"],
+                "params": " ".join(sorted(schema["params"])) or "-",
+                "summary": schema["summary"],
+            }
+            for schema in schemas
+        ]
+        print(format_table(rows, title="registered codecs"))
+        return 0
+
+    # `codec run`: executed through the service registry's codec_compress
+    # scenario so the CLI, the campaign engine, and POST /v1/compress produce
+    # byte-identical payloads for identical inputs.
+    from .service.registry import build_default_registry
+
+    stages = None
+    if args.stages is not None:
+        from pathlib import Path
+
+        if args.codec != "pipeline":
+            raise SystemExit(
+                f"--stages runs the pipeline codec; it cannot be combined with "
+                f"codec {args.codec!r} (use `repro codec run pipeline --stages ...` "
+                "or fold the codec into the stage list)"
+            )
+        text = args.stages
+        if Path(text).is_file():
+            text = Path(text).read_text()
+        try:
+            stages = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"--stages is neither valid JSON nor a JSON file: {error}")
+
+    submission = {
+        "codec": None if stages is not None else args.codec,
+        "rows": args.rows,
+        "cols": args.cols,
+        "seed": args.seed,
+        "scale": args.scale,
+        "params": _parse_cli_params(args.param),
+        "stages": stages,
+    }
+    try:
+        record = build_default_registry().run("codec_compress", submission)
+    except (ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    metric_rows = [
+        {"metric": name, "value": value}
+        for name, value in sorted(record["metrics"].items())
+    ] + [{"metric": "normalized_mse", "value": record["normalized_mse"]}]
+    title = f"{record['codec']} v{record['version']} on {record['shape']} (seed {record['seed']})"
+    print(format_table(metric_rows, title=title, precision=6))
+    for stage in record.get("stages", []):
+        print(
+            f"  stage {stage['codec']}: mse={stage['stage_mse']:.3e} "
+            f"cumulative={stage['cumulative_mse']:.3e} "
+            f"effective_bits={stage['effective_bits']:.3f}"
+        )
+    print(f"digest: {record['digest']}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
@@ -430,6 +561,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  ablations")
         print("  all")
         print("  campaign (run/resume/report/dispatch declarative campaign specs)")
+        print("  codec (run/list composable compression codecs)")
         return 0
 
     if args.command == "ablations":
@@ -455,6 +587,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "campaign":
         return _campaign(args)
+
+    if args.command == "codec":
+        return _codec(args)
 
     return _run_single(args.command, args)
 

@@ -1,0 +1,61 @@
+"""One composable Codec API for every compression backend.
+
+The paper compares many compression schemes (PTQ, ANT, Olive, NoisyQuant,
+microscaling, bit-flip pruning, BBS binary pruning, bit-plane encoding); this
+package gives them one plugin surface:
+
+* :mod:`repro.codecs.base` — the :class:`Codec` contract and the uniform
+  :class:`CompressionResult` (reconstruction, storage bits, scalar metrics,
+  provenance digest).
+* :mod:`repro.codecs.registry` — decorator-based discovery
+  (:func:`register_codec`, :func:`get_codec`, :func:`run_codec`).
+* :mod:`repro.codecs.builtin` — the six ``repro.quant`` backends plus BBS
+  pruning and lossless bit-plane encoding as first-class codecs.
+* :mod:`repro.codecs.pipeline` — the ``pipeline`` codec chaining codecs
+  (e.g. prune -> quantize -> encode) with per-stage metrics.
+
+Everything downstream — the service's ``codec_compress`` scenario and
+``/v1/codecs`` + ``/v1/compress`` endpoints, campaign ``codec:``/
+``pipeline:`` grids, and the ``repro codec`` CLI — is a thin view over this
+registry, so a new backend is one ``@register_codec`` class away from being
+sweepable, servable, and cacheable (see ``examples/custom_codec.py``).
+"""
+
+from .base import (
+    Codec,
+    CodecError,
+    CompressionResult,
+    StageMetrics,
+    as_weight_matrix,
+)
+from .pipeline import PipelineCodec, validate_stages
+from .registry import (
+    codec_names,
+    describe_codecs,
+    get_codec,
+    register_codec,
+    run_codec,
+    unregister_codec,
+)
+
+#: Parameters of the service's ``codec_compress`` scenario that describe the
+#: synthetic tensor source rather than the codec; campaign ``codec:`` grids
+#: keep these at the top level and fold everything else into codec params.
+TENSOR_SOURCE_PARAMS = ("rows", "cols", "seed", "scale")
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "CompressionResult",
+    "PipelineCodec",
+    "StageMetrics",
+    "TENSOR_SOURCE_PARAMS",
+    "as_weight_matrix",
+    "codec_names",
+    "describe_codecs",
+    "get_codec",
+    "register_codec",
+    "run_codec",
+    "unregister_codec",
+    "validate_stages",
+]

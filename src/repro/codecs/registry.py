@@ -1,0 +1,130 @@
+"""Decorator-based codec registry: one plugin surface for every backend.
+
+A codec registers itself with::
+
+    from repro.codecs import Codec, register_codec
+
+    @register_codec
+    class MyCodec(Codec):
+        name = "my_codec"
+        version = "1"
+        defaults = {"bits": 8}
+
+        def compress(self, tensor, **params):
+            ...
+
+and is immediately discoverable everywhere: ``repro codec list``,
+``GET /v1/codecs``, campaign ``codec:`` grids, and
+:func:`run_codec`/:func:`get_codec` callers.  Adding a backend is a one-file
+change instead of a five-site edit (registry scenario, campaign spec, CLI,
+HTTP API, eval suite).
+
+The registry maps names to codec *classes*; codecs are stateless, so
+:func:`get_codec` returns a shared instance per class.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from .base import Codec, CodecError, CompressionResult
+
+__all__ = [
+    "codec_names",
+    "describe_codecs",
+    "get_codec",
+    "register_codec",
+    "run_codec",
+    "unregister_codec",
+]
+
+_NAME_PATTERN = re.compile(r"[a-z][a-z0-9_]*")
+
+_lock = threading.Lock()
+_codecs: dict[str, type[Codec]] = {}
+_instances: dict[str, Codec] = {}
+
+
+def register_codec(cls: type[Codec]) -> type[Codec]:
+    """Class decorator adding a :class:`Codec` subclass to the registry."""
+    if not (isinstance(cls, type) and issubclass(cls, Codec)):
+        raise CodecError(f"register_codec expects a Codec subclass, got {cls!r}")
+    name = cls.name
+    if not (isinstance(name, str) and _NAME_PATTERN.fullmatch(name)):
+        raise CodecError(
+            f"codec name must match {_NAME_PATTERN.pattern!r}, got {name!r}"
+        )
+    if not isinstance(cls.defaults, Mapping):
+        raise CodecError(f"codec {name!r}: 'defaults' must be a mapping")
+    with _lock:
+        registered = _codecs.get(name)
+        if registered is not None and registered is not cls:
+            raise CodecError(f"codec {name!r} is already registered")
+        _codecs[name] = cls
+        _instances.pop(name, None)
+    return cls
+
+
+def unregister_codec(name: str) -> None:
+    """Remove a codec (tests and example plugins clean up after themselves)."""
+    with _lock:
+        _codecs.pop(name, None)
+        _instances.pop(name, None)
+
+
+def codec_names() -> list[str]:
+    """Sorted names of every registered codec."""
+    _ensure_builtins()
+    with _lock:
+        return sorted(_codecs)
+
+
+def get_codec(name: str) -> Codec:
+    """Shared (stateless) instance of the codec registered under ``name``."""
+    _ensure_builtins()
+    with _lock:
+        cls = _codecs.get(name)
+        if cls is None:
+            available = sorted(_codecs)
+            raise CodecError(f"unknown codec {name!r}; available: {available}")
+        instance = _instances.get(name)
+        if instance is None or type(instance) is not cls:
+            instance = cls()
+            _instances[name] = instance
+        return instance
+
+
+def describe_codecs(names: Iterable[str] | None = None) -> list[dict]:
+    """``param_schema()`` of every (or the named) codecs, sorted by name."""
+    selected = codec_names() if names is None else sorted(names)
+    return [get_codec(name).param_schema() for name in selected]
+
+
+def run_codec(
+    name: str, tensor: np.ndarray, params: Mapping[str, Any] | None = None
+) -> CompressionResult:
+    """Validate ``params`` against the codec's schema and compress ``tensor``."""
+    codec = get_codec(name)
+    merged = codec.validate_params(params)
+    return codec.compress(tensor, **merged)
+
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in codec modules exactly once (they self-register).
+
+    Safe without extra locking: the interpreter's import lock serializes the
+    module imports, and ``register_codec`` itself takes ``_lock``.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    from . import builtin, pipeline  # noqa: F401
+
+    _builtins_loaded = True

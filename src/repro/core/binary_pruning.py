@@ -42,7 +42,7 @@ __all__ = [
 
 
 @dataclass
-class PrunedTensor:
+class PrunedTensor(metrics.ReconstructionMetricsMixin):
     """A whole weight matrix after binary pruning.
 
     Attributes
@@ -121,17 +121,14 @@ class PrunedTensor:
             return 0.0
         return self.storage_bits() / num_weights
 
-    def mse(self) -> float:
-        """MSE against the original tensor (0 if the original was not kept)."""
-        if self.original is None:
-            return 0.0
-        return metrics.mse(self.original, self.values)
-
     def kl_divergence(self) -> float:
         """KL divergence of the value histogram against the original tensor."""
         if self.original is None:
             return 0.0
         return metrics.kl_divergence(self.original, self.values)
+
+    def extra_scalars(self) -> dict[str, float]:
+        return {"compression_ratio": float(self.compression_ratio())}
 
     def content_digest(self) -> str:
         """Stable hex digest of the compressed contents + pruning configuration.

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "ReconstructionMetricsMixin",
     "mse",
     "rmse",
     "kl_divergence",
@@ -30,6 +31,53 @@ __all__ = [
     "cosine_similarity",
     "sqnr_db",
 ]
+
+
+class ReconstructionMetricsMixin:
+    """Shared scalar-metric surface of every compression result dataclass.
+
+    Every backend result (``repro.quant.*Result``, ``core.PrunedTensor``,
+    ``codecs.CompressionResult``) carries a reconstructed tensor in ``values``
+    and optionally the ``original`` it was compressed from, and reports the
+    same two headline scalars: reconstruction MSE and effective stored bits
+    per weight.  This mixin provides the common ``mse``/``scalars``/
+    ``to_jsonable`` implementations so each dataclass only defines what is
+    genuinely backend-specific (``effective_bits`` and any extra scalars).
+
+    The mixin deliberately declares no dataclass fields; subclasses stay free
+    to order (and freeze) their own fields.
+    """
+
+    def mse(self) -> float:
+        """MSE against the original tensor (0 if the original was not kept)."""
+        original = getattr(self, "original", None)
+        if original is None:
+            return 0.0
+        return mse(original, self.values)
+
+    def effective_bits(self) -> float:  # pragma: no cover - always overridden
+        raise NotImplementedError
+
+    def extra_scalars(self) -> dict[str, float]:
+        """Backend-specific scalar metrics merged into :meth:`scalars`."""
+        return {}
+
+    def scalars(self) -> dict[str, float]:
+        """The uniform scalar-metric dict every compression result reports."""
+        return {
+            "mse": float(self.mse()),
+            "effective_bits": float(self.effective_bits()),
+            **{key: float(value) for key, value in self.extra_scalars().items()},
+        }
+
+    def to_jsonable(self) -> dict:
+        """Strict-JSON summary of this result (scalars only, no tensors)."""
+        import math
+
+        return {
+            key: (value if math.isfinite(value) else None)
+            for key, value in self.scalars().items()
+        }
 
 
 def mse(original: np.ndarray, compressed: np.ndarray) -> float:

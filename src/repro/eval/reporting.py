@@ -143,6 +143,12 @@ def to_jsonable(value: Any) -> Any:
         return to_jsonable(value.tolist())
     if isinstance(value, enum.Enum):
         return to_jsonable(value.value)
+    if not isinstance(value, type) and callable(getattr(value, "to_jsonable", None)):
+        # Result objects (codec CompressionResult, StageMetrics, the metric
+        # mixin) know their own JSON form — and it deliberately excludes
+        # heavyweight fields (tensors, backend payloads) that a naive
+        # dataclasses.asdict walk would choke on.
+        return to_jsonable(value.to_jsonable())
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return to_jsonable(dataclasses.asdict(value))
     if isinstance(value, dict):

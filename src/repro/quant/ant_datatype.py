@@ -24,11 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.metrics import ReconstructionMetricsMixin
+
 __all__ = ["AntResult", "ant_quantize", "datatype_codebook"]
 
 
 @dataclass(frozen=True)
-class AntResult:
+class AntResult(ReconstructionMetricsMixin):
     """Weights after ANT adaptive-datatype quantization."""
 
     values: np.ndarray
@@ -39,11 +41,6 @@ class AntResult:
     def effective_bits(self) -> float:
         """Stored bits per weight (the per-channel type tag is ~2 bits / channel)."""
         return float(self.bits)
-
-    def mse(self) -> float:
-        if self.original is None:
-            return 0.0
-        return float(np.mean((self.original - self.values) ** 2))
 
 
 def datatype_codebook(datatype: str, bits: int) -> np.ndarray:

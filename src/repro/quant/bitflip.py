@@ -27,12 +27,13 @@ from ..core.bitplane import (
 )
 from ..core.encoding import group_storage_bits
 from ..core.grouping import GroupedTensor, group_weights, ungroup_weights
+from ..core.metrics import ReconstructionMetricsMixin
 
 __all__ = ["BitFlipResult", "bitflip_group", "bitflip_tensor"]
 
 
 @dataclass
-class BitFlipResult:
+class BitFlipResult(ReconstructionMetricsMixin):
     """A weight matrix after BitWave-style zero-column bit-flip pruning."""
 
     values: np.ndarray
@@ -68,10 +69,11 @@ class BitFlipResult:
             return 0.0
         return self.storage_bits() / num_weights
 
-    def mse(self) -> float:
-        if self.original is None:
-            return 0.0
-        return float(np.mean((self.original - self.values) ** 2))
+    def extra_scalars(self) -> dict[str, float]:
+        return {
+            "inherent_zero_columns": float(self.inherent_zero_columns.sum()),
+            "forced_zero_columns": float(self.forced_zero_columns.sum()),
+        }
 
 
 def bitflip_group(group: np.ndarray, num_columns: int, bits: int = 8) -> tuple[np.ndarray, int, int]:

@@ -20,11 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.metrics import ReconstructionMetricsMixin
+
 __all__ = ["MicroscalingResult", "microscaling_quantize"]
 
 
 @dataclass(frozen=True)
-class MicroscalingResult:
+class MicroscalingResult(ReconstructionMetricsMixin):
     """Weights after Microscaling compression, expressed in the input domain."""
 
     values: np.ndarray
@@ -36,11 +38,6 @@ class MicroscalingResult:
     def effective_bits(self) -> float:
         """Average stored bits per weight (mantissa + amortized shared exponent)."""
         return self.element_bits + 8.0 / self.block_size
-
-    def mse(self) -> float:
-        if self.original is None:
-            return 0.0
-        return float(np.mean((self.original - self.values) ** 2))
 
 
 def microscaling_quantize(

@@ -22,11 +22,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.metrics import ReconstructionMetricsMixin
+
 __all__ = ["NoisyQuantResult", "noisyquant_quantize"]
 
 
 @dataclass(frozen=True)
-class NoisyQuantResult:
+class NoisyQuantResult(ReconstructionMetricsMixin):
     """Weights after NoisyQuant compression, expressed in the input domain."""
 
     values: np.ndarray
@@ -37,10 +39,8 @@ class NoisyQuantResult:
     def effective_bits(self) -> float:
         return float(self.bits)
 
-    def mse(self) -> float:
-        if self.original is None:
-            return 0.0
-        return float(np.mean((self.original - self.values) ** 2))
+    def extra_scalars(self) -> dict[str, float]:
+        return {"noise_amplitude": float(self.noise_amplitude)}
 
 
 def _uniform_quantize(

@@ -24,11 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.metrics import ReconstructionMetricsMixin
+
 __all__ = ["OliveResult", "olive_quantize"]
 
 
 @dataclass(frozen=True)
-class OliveResult:
+class OliveResult(ReconstructionMetricsMixin):
     """Weights after Olive outlier-victim pair quantization."""
 
     values: np.ndarray
@@ -39,10 +41,8 @@ class OliveResult:
     def effective_bits(self) -> float:
         return float(self.bits)
 
-    def mse(self) -> float:
-        if self.original is None:
-            return 0.0
-        return float(np.mean((self.original - self.values) ** 2))
+    def extra_scalars(self) -> dict[str, float]:
+        return {"outlier_fraction": float(self.outlier_fraction)}
 
 
 def _outlier_codebook(bits: int, normal_max: float) -> np.ndarray:

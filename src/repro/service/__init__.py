@@ -27,10 +27,11 @@ from .client import (
 from .jobs import Job, JobState, JobStore
 from .journal import JobJournal
 from .registry import JobType, ScenarioRegistry, build_default_registry
-from .server import ReproServer, create_server
+from .server import API_VERSION, V1_ROUTES, ReproServer, create_server
 from .workers import QueueFullError, WorkerPool, job_digest
 
 __all__ = [
+    "API_VERSION",
     "MISSING",
     "CacheStats",
     "Job",
@@ -47,6 +48,7 @@ __all__ = [
     "ServiceError",
     "ServiceRequestError",
     "ServiceUnavailable",
+    "V1_ROUTES",
     "WorkerPool",
     "build_default_registry",
     "create_server",

@@ -86,6 +86,11 @@ class ServiceClient:
     ``retries`` counts *additional* attempts after the first; the delay
     before retry ``n`` is ``backoff * 2**n`` seconds.  ``sleep`` is
     injectable so tests (and pollers with their own pacing) stay fast.
+
+    The convenience methods talk to the versioned ``/v1`` API;
+    ``api_prefix=""`` pins a client to the deprecated legacy paths (for
+    talking to a pre-``/v1`` server).  ``request`` takes raw paths either
+    way.
     """
 
     def __init__(
@@ -95,6 +100,7 @@ class ServiceClient:
         retries: int = 3,
         backoff: float = 0.2,
         sleep: Callable[[float], None] = time.sleep,
+        api_prefix: str = "/v1",
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -102,7 +108,9 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.api_prefix = api_prefix.rstrip("/")
         self._sleep = sleep
+        self._scenario_defaults: dict[str, dict] | None = None
 
     def __repr__(self) -> str:
         return f"ServiceClient({self.base_url!r})"
@@ -152,34 +160,64 @@ class ServiceClient:
     # Endpoints
     # ------------------------------------------------------------------ #
 
+    def _path(self, path: str) -> str:
+        return f"{self.api_prefix}{path}"
+
     def health(self) -> dict:
-        return self.request("GET", "/health")
+        return self.request("GET", self._path("/health"))
 
     def scenarios(self) -> list[dict]:
-        return self.request("GET", "/scenarios")["scenarios"]
+        return self.request("GET", self._path("/scenarios"))["scenarios"]
+
+    def codecs(self) -> list[dict]:
+        """Codec discovery: names, versions, and parameter schemas."""
+        return self.request("GET", self._path("/codecs"))["codecs"]
 
     def cache_stats(self) -> dict:
-        return self.request("GET", "/cache/stats")
+        return self.request("GET", self._path("/cache/stats"))
 
     def submit(self, job_type: str, params: dict | None = None,
                wait: float | None = None) -> dict:
         """Submit a job; returns its record (with result if done and waited)."""
-        path = "/jobs" if wait is None else f"/jobs?wait={wait}"
+        path = self._path("/jobs" if wait is None else f"/jobs?wait={wait}")
         return self.request("POST", path, {"type": job_type, "params": params or {}})
 
     def submit_campaign(self, spec: dict, jobs: int = 1, wait: float | None = None) -> dict:
-        path = "/campaign" if wait is None else f"/campaign?wait={wait}"
+        path = self._path("/campaign" if wait is None else f"/campaign?wait={wait}")
         return self.request("POST", path, {"spec": spec, "jobs": jobs})
 
+    def compress(
+        self,
+        codec: str | None = None,
+        params: dict | None = None,
+        stages: list | None = None,
+        wait: float | None = None,
+        **source: Any,
+    ) -> dict:
+        """``POST /v1/compress``: codec-validated submission of one tensor job.
+
+        ``source`` takes the tensor-source knobs (``rows``/``cols``/``seed``/
+        ``scale``); pass ``stages`` for a pipeline instead of ``codec``.
+        """
+        body: dict = dict(source)
+        if codec is not None:
+            body["codec"] = codec
+        if params is not None:
+            body["params"] = params
+        if stages is not None:
+            body["stages"] = stages
+        path = self._path("/compress" if wait is None else f"/compress?wait={wait}")
+        return self.request("POST", path, body)
+
     def job(self, job_id: str) -> dict:
-        return self.request("GET", f"/jobs/{job_id}")
+        return self.request("GET", self._path(f"/jobs/{job_id}"))
 
     def result(self, job_id: str) -> dict:
         """Full record of a finished job, including its result payload."""
-        return self.request("GET", f"/jobs/{job_id}/result")
+        return self.request("GET", self._path(f"/jobs/{job_id}/result"))
 
     def cancel(self, job_id: str) -> dict:
-        return self.request("POST", f"/jobs/{job_id}/cancel")
+        return self.request("POST", self._path(f"/jobs/{job_id}/cancel"))
 
     def jobs(self, state: str | None = None, offset: int | None = None,
              limit: int | None = None) -> dict:
@@ -188,7 +226,44 @@ class ServiceClient:
             for key, value in (("state", state), ("offset", offset), ("limit", limit))
             if value is not None
         )
-        return self.request("GET", "/jobs" + (f"?{query}" if query else ""))
+        return self.request("GET", self._path("/jobs" + (f"?{query}" if query else "")))
+
+    # ------------------------------------------------------------------ #
+    # Pre-submit validation
+    # ------------------------------------------------------------------ #
+
+    def scenario_defaults(self, refresh: bool = False) -> dict[str, dict]:
+        """``{scenario: canonical default params}`` from ``GET /v1/scenarios``.
+
+        Cached per client (one fetch validates a whole campaign's cells);
+        ``refresh=True`` re-fetches.
+        """
+        if self._scenario_defaults is None or refresh:
+            self._scenario_defaults = {
+                entry["name"]: dict(entry.get("params", {}))
+                for entry in self.scenarios()
+            }
+        return self._scenario_defaults
+
+    def validate_job(self, job_type: str, params: dict | None = None) -> None:
+        """Check a submission against the node's registry without running it.
+
+        Raises ``ValueError`` if the node does not know ``job_type`` or the
+        parameter names — the same rejections the server would answer with a
+        400/failed job, caught before anything is enqueued.
+        """
+        defaults = self.scenario_defaults()
+        if job_type not in defaults:
+            raise ValueError(
+                f"{self.base_url}: unknown scenario {job_type!r}; "
+                f"available: {sorted(defaults)}"
+            )
+        unknown = sorted(set(params or {}) - set(defaults[job_type]))
+        if unknown:
+            raise ValueError(
+                f"{self.base_url}: unknown parameter(s) {unknown} for scenario "
+                f"{job_type!r}; accepted: {sorted(defaults[job_type])}"
+            )
 
     # ------------------------------------------------------------------ #
     # Conveniences

@@ -11,7 +11,9 @@ what the cache persists and the HTTP API ships.
 * every table/figure of the paper (the CLI's ``EXPERIMENT_COMMANDS``),
 * ``ablations`` and the full ``suite`` reproduction,
 * ad-hoc jobs: ``prune_tensor`` (compress one synthetic matrix),
-  ``quantize_tensor`` (one ``repro.quant`` backend on one synthetic matrix)
+  ``codec_compress`` (any codec or pipeline of the :mod:`repro.codecs`
+  registry on one synthetic matrix), ``quantize_tensor`` (its
+  backward-compatible precursor, a thin dispatch over the same codecs)
   and ``simulate`` (one model on one accelerator of the line-up),
 * ``campaign`` (run a whole declarative campaign spec and return its
   aggregate report; see :mod:`repro.campaign`).
@@ -189,8 +191,29 @@ def _run_simulate(
     }
 
 
-#: ``quantize_tensor`` backends -> the ``repro.quant`` entry point each maps to.
+#: ``quantize_tensor`` backends -> the ``repro.codecs`` codec each maps to.
 QUANT_BACKENDS = ("ant", "bitflip", "microscaling", "noisyquant", "olive", "ptq")
+
+#: Scenario parameter names forwarded to each backend codec (the scenario's
+#: uniform parameter surface is wider than any single codec's schema).
+_BACKEND_CODEC_PARAMS: Mapping[str, tuple[str, ...]] = {
+    "ant": ("bits",),
+    "bitflip": ("bits", "num_columns", "group_size"),
+    "microscaling": ("bits", "group_size"),
+    "noisyquant": ("bits", "seed"),
+    "olive": ("bits",),
+    "ptq": ("bits",),
+}
+
+
+def _synthetic_float_matrix(rows: int, cols: int, seed: int, scale: float) -> np.ndarray:
+    """The shared Gaussian tensor source of the codec-driven scenarios."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    generator = np.random.default_rng(seed)
+    return generator.normal(0.0, scale, size=(rows, cols))
 
 
 def _run_quantize_tensor(
@@ -203,67 +226,46 @@ def _run_quantize_tensor(
     group_size: int,
     num_columns: int,
 ) -> dict:
-    """Run one ``repro.quant`` backend over one synthetic Gaussian matrix.
+    """Run one quantization backend over one synthetic Gaussian matrix.
 
-    The campaign engine sweeps ``backend`` (and word width/grouping) through
-    this single scenario, so every backend reports the same core metrics:
-    reconstruction MSE against the float reference and effective stored bits
-    per weight.  ``group_size`` doubles as the microscaling block size and the
-    bit-flip dot-product group; ``num_columns`` only matters for ``bitflip``.
+    A thin dispatch over the :mod:`repro.codecs` registry, kept for
+    backward compatibility with existing campaign specs: every backend name
+    is also a codec name, and the new ``codec_compress`` scenario is the
+    generic (and pipeline-capable) superset of this one.  ``group_size``
+    doubles as the microscaling block size and the bit-flip dot-product
+    group; ``num_columns`` only matters for ``bitflip``.
     """
-    from .. import quant
+    from .. import codecs
 
     if backend not in QUANT_BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; available: {sorted(QUANT_BACKENDS)}"
         )
-    if rows <= 0 or cols <= 0:
-        raise ValueError("rows and cols must be positive")
-    if scale <= 0:
-        raise ValueError("scale must be positive")
-    generator = np.random.default_rng(seed)
-    weights = generator.normal(0.0, scale, size=(rows, cols))
+    weights = _synthetic_float_matrix(rows, cols, seed, scale)
+    candidates = {
+        "bits": bits,
+        "group_size": group_size,
+        "num_columns": num_columns,
+        "seed": seed,
+    }
+    params = {key: candidates[key] for key in _BACKEND_CODEC_PARAMS[backend]}
+    result = codecs.run_codec(backend, weights, params)
 
     extras: dict[str, Any] = {}
     if backend == "ant":
-        result = quant.ant_quantize(weights, bits=bits)
-        mse, effective_bits = result.mse(), result.effective_bits()
         counts: dict[str, int] = {}
-        for name in result.chosen_datatypes:
+        for name in result.payload.chosen_datatypes:
             counts[name] = counts.get(name, 0) + 1
         extras["datatype_counts"] = dict(sorted(counts.items()))
     elif backend == "bitflip":
-        codes = quant.quantize_per_channel(weights, bits=bits)
-        result = quant.bitflip_tensor(
-            codes.values, num_columns, group_size=group_size, bits=bits
-        )
-        # Report MSE in the float domain like every other backend: dequantize
-        # the pruned codes so the metric includes the PTQ error, not just the
-        # column-pruning error measured between integer codes.
-        reconstructed = result.values * codes.scales[:, None]
-        mse = float(np.mean((weights - reconstructed) ** 2))
-        effective_bits = result.effective_bits()
-        extras["inherent_zero_columns"] = int(result.inherent_zero_columns.sum())
-        extras["forced_zero_columns"] = int(result.forced_zero_columns.sum())
-    elif backend == "microscaling":
-        result = quant.microscaling_quantize(
-            weights, element_bits=bits, block_size=group_size
-        )
-        mse, effective_bits = result.mse(), result.effective_bits()
+        extras["inherent_zero_columns"] = int(result.extras["inherent_zero_columns"])
+        extras["forced_zero_columns"] = int(result.extras["forced_zero_columns"])
     elif backend == "noisyquant":
-        result = quant.noisyquant_quantize(weights, bits=bits, seed=seed)
-        mse, effective_bits = result.mse(), result.effective_bits()
-        extras["noise_amplitude"] = float(result.noise_amplitude)
+        extras["noise_amplitude"] = float(result.extras["noise_amplitude"])
     elif backend == "olive":
-        result = quant.olive_quantize(weights, bits=bits)
-        mse, effective_bits = result.mse(), result.effective_bits()
-        extras["outlier_fraction"] = float(result.outlier_fraction)
-    else:  # ptq
-        quantized = quant.quantize_per_channel(weights, bits=bits, calibrate=bits < 6)
-        reconstructed = quant.dequantize(quantized)
-        mse = float(np.mean((weights - reconstructed) ** 2))
-        effective_bits = float(bits)
+        extras["outlier_fraction"] = float(result.extras["outlier_fraction"])
 
+    mse = result.mse()
     return {
         "backend": backend,
         "shape": [rows, cols],
@@ -272,9 +274,58 @@ def _run_quantize_tensor(
         "seed": seed,
         "mse": float(mse),
         "normalized_mse": float(mse) / float(scale) ** 2,
-        "effective_bits": float(effective_bits),
+        "effective_bits": float(result.effective_bits()),
+        "content_digest": result.digest(),
         **extras,
     }
+
+
+def _run_codec_compress(
+    codec: Any,
+    rows: int,
+    cols: int,
+    seed: int,
+    scale: float,
+    params: Any,
+    stages: Any,
+) -> dict:
+    """Compress one synthetic Gaussian matrix with any registered codec.
+
+    ``stages`` (a pipeline stage list) implies the ``pipeline`` codec;
+    otherwise ``codec`` names any codec of the :mod:`repro.codecs` registry
+    and ``params`` holds its parameters.  The result record carries the
+    codec identity, canonical parameters, uniform scalar metrics, per-stage
+    metrics for pipelines, and the artifact's provenance digest.
+    """
+    from .. import codecs
+    from ..eval.reporting import to_jsonable
+
+    if stages is not None:
+        if codec not in (None, "pipeline"):
+            raise ValueError(
+                f'"stages" implies the pipeline codec; drop codec={codec!r} '
+                "or fold it into the stage list"
+            )
+        if params:
+            raise ValueError(
+                '"stages" implies the pipeline codec; move "params" into '
+                "the stage objects"
+            )
+        codec, codec_params = "pipeline", {"stages": stages}
+    else:
+        if not isinstance(codec, str) or not codec:
+            raise ValueError('"codec" must name a registered codec (see /v1/codecs)')
+        codec_params = params or {}
+    if not isinstance(codec_params, Mapping):
+        raise ValueError('"params" must be a JSON object')
+
+    weights = _synthetic_float_matrix(rows, cols, seed, scale)
+    result = codecs.run_codec(codec, weights, codec_params)
+    record = result.to_jsonable()
+    record["seed"] = seed
+    record["scale"] = float(scale)
+    record["normalized_mse"] = float(result.mse()) / float(scale) ** 2
+    return to_jsonable(record)
 
 
 def _run_campaign(spec: Any, jobs: int) -> dict:
@@ -375,6 +426,22 @@ def build_default_registry() -> ScenarioRegistry:
             "bits": 6,
             "group_size": 32,
             "num_columns": 4,
+        },
+    )
+    registry.add(
+        "codec_compress",
+        "Compress one synthetic Gaussian matrix with any codec of the "
+        "repro.codecs registry (GET /v1/codecs lists names and parameter "
+        "schemas); a 'stages' list runs a chained pipeline codec.",
+        _run_codec_compress,
+        {
+            "codec": None,
+            "rows": 128,
+            "cols": 1024,
+            "seed": 0,
+            "scale": 1.0,
+            "params": {},
+            "stages": None,
         },
     )
     registry.add(

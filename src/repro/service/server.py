@@ -1,22 +1,39 @@
 """Pure-stdlib HTTP/JSON API over the worker pool.
 
 Built on ``http.server.ThreadingHTTPServer`` so the service needs nothing the
-repository does not already depend on.  Endpoints:
+repository does not already depend on.  The API is versioned: every endpoint
+lives under the ``/v1/`` prefix, and the historical unprefixed paths are kept
+as deprecated aliases that serve identical payloads plus a ``Deprecation:
+true`` header and a ``Link: </v1/...>; rel="successor-version"`` pointer.
+Endpoints introduced with the versioned API (``/v1/codecs``,
+``/v1/compress``) exist only under ``/v1``; the unversioned surface is
+frozen at the pre-``/v1`` route set.
 
 ========  =========================  ==============================================
-Method    Path                       Meaning
+Method    Path (under ``/v1``)       Meaning
 ========  =========================  ==============================================
-GET       /health                    liveness + uptime + pool stats
-GET       /scenarios                 the registry's job types and their parameters
-GET       /cache/stats               cache hit/miss/eviction counters
-GET       /jobs                      job summaries (``?state=``, ``?offset=``,
+GET       /v1/health                 liveness + uptime + pool stats
+GET       /v1/scenarios              the registry's job types and their canonical
+                                     default parameters (pre-submit validation)
+GET       /v1/codecs                 codec discovery: names, versions, and
+                                     parameter schemas (see :mod:`repro.codecs`)
+GET       /v1/cache/stats            cache hit/miss/eviction counters
+GET       /v1/jobs                   job summaries (``?state=``, ``?offset=``,
                                      ``?limit=`` filter and paginate)
-GET       /jobs/<id>                 one job's status (no result)
-GET       /jobs/<id>/result          finished job's full record incl. result
-POST      /jobs                      submit ``{"type": ..., "params": {...}}``
-POST      /jobs/<id>/cancel          cancel a still-queued job
-POST      /campaign                  submit a declarative campaign spec
+GET       /v1/jobs/<id>              one job's status (no result)
+GET       /v1/jobs/<id>/result       finished job's full record incl. result
+POST      /v1/jobs                   submit ``{"type": ..., "params": {...}}``
+POST      /v1/jobs/<id>/cancel       cancel a still-queued job
+POST      /v1/compress               compress with a registered codec/pipeline
+                                     (validated, then a ``codec_compress`` job)
+POST      /v1/campaign               submit a declarative campaign spec
 ========  =========================  ==============================================
+
+``POST /v1/compress`` accepts ``{"codec": ..., "params": {...}}`` or
+``{"stages": [...]}`` plus optional tensor-source fields
+(``rows``/``cols``/``seed``/``scale``); the codec name and parameters are
+validated against the codec registry before submission, so typos are a 400,
+not a failed job.
 
 ``POST /campaign`` accepts either a campaign spec object directly or
 ``{"spec": {...}, "jobs": N}``; the spec is validated before submission (bad
@@ -47,7 +64,33 @@ from .journal import JobJournal
 from .registry import ScenarioRegistry, build_default_registry
 from .workers import QueueFullError, WorkerPool
 
-__all__ = ["ReproServer", "create_server"]
+__all__ = ["API_VERSION", "ReproServer", "V1_ROUTES", "create_server"]
+
+#: Current (only) version of the HTTP API; the path prefix is ``/v1``.
+API_VERSION = "v1"
+
+#: The versioned route table — the public API surface contract.  The
+#: ``scripts/check_api_surface.py`` CI guard snapshots this list, so adding,
+#: removing, or renaming a route is an explicit, reviewed change.
+V1_ROUTES = (
+    "GET /v1/cache/stats",
+    "GET /v1/codecs",
+    "GET /v1/health",
+    "GET /v1/jobs",
+    "GET /v1/jobs/<id>",
+    "GET /v1/jobs/<id>/result",
+    "GET /v1/scenarios",
+    "POST /v1/campaign",
+    "POST /v1/compress",
+    "POST /v1/jobs",
+    "POST /v1/jobs/<id>/cancel",
+)
+
+#: Root path segments of the pre-``/v1`` API.  Only these are served as
+#: deprecated unprefixed aliases; endpoints introduced with the versioned API
+#: (``/v1/codecs``, ``/v1/compress``) exist exclusively under ``/v1`` so the
+#: unversioned surface can never grow.
+LEGACY_ALIAS_ROOTS = frozenset({"cache", "campaign", "health", "jobs", "scenarios"})
 
 #: Upper bound on ``?wait=`` so a client cannot pin a handler thread forever.
 MAX_WAIT_SECONDS = 300.0
@@ -90,10 +133,34 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        successor = getattr(self, "_successor_path", None)
+        if successor is not None:
+            # Served from a legacy unprefixed path: identical payload, but
+            # clients are told where the supported route lives.
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", f'<{successor}>; rel="successor-version"')
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _split_path(self, url) -> list[str]:
+        """Path segments with the ``/v1`` prefix stripped.
+
+        Requests on unprefixed *legacy* paths (:data:`LEGACY_ALIAS_ROOTS`)
+        are flagged so every response (whatever its status) carries the
+        deprecation headers; any other unprefixed path routes nowhere (404),
+        so new ``/v1``-only endpoints never leak onto the unversioned
+        surface.
+        """
+        parts = [part for part in url.path.split("/") if part]
+        self._successor_path = None
+        if parts and parts[0] == API_VERSION:
+            return parts[1:]
+        if parts and parts[0] in LEGACY_ALIAS_ROOTS:
+            self._successor_path = f"/{API_VERSION}{url.path}"
+            return parts
+        return ["", *parts]  # unrouted namespace -> no handler matches -> 404
 
     def _drain_body(self) -> bytes:
         """Always consume the request body: on a keep-alive connection,
@@ -165,14 +232,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._successor_path = None  # reset per request (keep-alive reuse)
         self._handle(self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._successor_path = None
         self._handle(self._route_post)
 
     def _route_get(self) -> None:
         url = urlsplit(self.path)
-        parts = [part for part in url.path.split("/") if part]
+        parts = self._split_path(url)
         pool = self.server.pool
 
         if parts == ["health"]:
@@ -180,6 +249,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 200,
                 {
                     "status": "ok",
+                    "api_version": API_VERSION,
                     "uptime_seconds": time.time() - self.server.started_at,
                     "scenarios": len(self.server.registry),
                     "journal": self.server.journal is not None,
@@ -188,6 +258,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
             )
         elif parts == ["scenarios"]:
             self._send_json(200, {"scenarios": self.server.registry.describe()})
+        elif parts == ["codecs"]:
+            from .. import codecs
+
+            self._send_json(
+                200,
+                {
+                    "api_version": API_VERSION,
+                    "codecs": codecs.describe_codecs(),
+                },
+            )
         elif parts == ["cache", "stats"]:
             self._send_json(200, pool.cache.stats())
         elif parts == ["jobs"]:
@@ -213,11 +293,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _route_post(self) -> None:
         url = urlsplit(self.path)
         raw = self._drain_body()
-        parts = [part for part in url.path.split("/") if part]
+        parts = self._split_path(url)
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
             self._cancel_job(parts[1])
             return
-        if parts not in (["jobs"], ["campaign"]):
+        if parts not in (["jobs"], ["campaign"], ["compress"]):
             self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
             return
         try:
@@ -225,6 +305,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
             body = self._parse_json_body(raw)
             if parts == ["campaign"]:
                 job = self._submit_campaign(body)
+            elif parts == ["compress"]:
+                job = self._submit_compress(body)
             else:
                 job_type = body.get("type")
                 if not isinstance(job_type, str):
@@ -324,6 +406,61 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except CampaignSpecError as error:
             raise ValueError(f"invalid campaign spec: {error}") from None
         return self.server.pool.submit("campaign", {"spec": spec, "jobs": jobs})
+
+    def _submit_compress(self, body: dict):
+        """Validate and enqueue one ``POST /v1/compress`` request.
+
+        The codec name, its parameters, and any pipeline stage list are
+        validated against the codec registry *here*, so an unknown codec or a
+        parameter typo is a 400 on the request instead of a FAILED job.  The
+        *canonicalized* forms (defaults merged in) are what gets submitted,
+        so a sparse ``/v1/compress`` body, a spelled-out one, and a campaign
+        ``codec:`` cell of the same work all land on one content digest.
+        """
+        from .. import codecs
+
+        allowed = {"codec", "params", "stages", *codecs.TENSOR_SOURCE_PARAMS}
+        unknown = set(body) - allowed
+        if unknown:
+            raise ValueError(f"unknown compress field(s) {sorted(unknown)}")
+        stages = body.get("stages")
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError('"params" must be a JSON object')
+        codec = body.get("codec")
+        if stages is not None:
+            if params:
+                raise ValueError(
+                    '"stages" implies the pipeline codec; move "params" into '
+                    "the stage objects"
+                )
+            if codec not in (None, "pipeline"):
+                raise ValueError(
+                    '"stages" implies the pipeline codec; drop the "codec" field'
+                )
+            codec, stages = "pipeline", codecs.validate_stages(stages)
+        else:
+            if not isinstance(codec, str) or not codec:
+                raise ValueError(
+                    'missing or non-string "codec" field (GET /v1/codecs lists them)'
+                )
+            declared = codecs.get_codec(codec)
+            # A tensor-source key that is also a codec parameter (e.g.
+            # noisyquant's "seed") feeds both, matching campaign codec:
+            # grids — one value drives the synthetic tensor and the codec
+            # alike.  An explicit entry in "params" still wins.
+            shared = {
+                key: body[key]
+                for key in codecs.TENSOR_SOURCE_PARAMS
+                if key in body and key in declared.defaults and key not in params
+            }
+            params = declared.validate_params({**shared, **params})
+
+        submission: dict = {"codec": codec, "params": params, "stages": stages}
+        for key in codecs.TENSOR_SOURCE_PARAMS:
+            if key in body:
+                submission[key] = body[key]
+        return self.server.pool.submit("codec_compress", submission)
 
     @staticmethod
     def _parse_wait(query_string: str) -> float | None:
