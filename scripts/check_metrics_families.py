@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI gate: a live ``/v1/metrics`` scrape must expose the core families.
+
+Scrapes a running ``repro serve`` node and fails (exit 1) unless every
+required metric family is present in the Prometheus text exposition with at
+least one numeric sample.  This is the observability contract the dashboards
+and the campaign dispatcher rely on; a refactor that silently drops an
+instrumentation point must fail CI, not a production scrape.
+
+Usage::
+
+    python scripts/check_metrics_families.py --url http://127.0.0.1:8000
+    python scripts/check_metrics_families.py --url ... --require my_family
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import urllib.error
+import urllib.request
+
+#: Families every healthy node must expose (histograms match their
+#: ``_bucket``/``_sum``/``_count`` sample names by prefix).
+DEFAULT_FAMILIES = (
+    "repro_http_requests_total",
+    "repro_job_queue_depth",
+    "repro_cache_hits_total",
+    "repro_codec_compress_seconds",
+)
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$"
+)
+
+
+def scrape(url: str, timeout: float) -> str:
+    target = url.rstrip("/") + "/v1/metrics"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        content_type = response.headers.get("Content-Type", "")
+        if not content_type.startswith("text/plain"):
+            raise SystemExit(
+                f"error: {target} answered Content-Type {content_type!r}, "
+                "expected Prometheus text exposition"
+            )
+        return response.read().decode("utf-8")
+
+
+def check_families(text: str, families: list[str]) -> list[str]:
+    """Return one problem string per family that fails the contract."""
+    declared: set[str] = set()
+    samples: dict[str, list[str]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) >= 3:
+                declared.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match:
+            samples.setdefault(match.group("name"), []).append(match.group("value"))
+
+    problems = []
+    for family in families:
+        if family not in declared:
+            problems.append(f"family {family!r} missing from the scrape")
+            continue
+        # A histogram family's samples live under suffixed names.
+        values = [
+            value
+            for name, family_values in samples.items()
+            if name == family or name.startswith(family + "_")
+            for value in family_values
+        ]
+        if not values:
+            problems.append(f"family {family!r} declared but has no samples")
+            continue
+        for value in values:
+            if value == "+Inf" or value == "-Inf" or value == "NaN":
+                continue
+            try:
+                float(value)
+            except ValueError:
+                problems.append(f"family {family!r} has non-numeric sample {value!r}")
+                break
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True, help="base URL of a repro serve node")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="additional required family (repeatable)",
+    )
+    parser.add_argument("--timeout", type=float, default=10.0)
+    args = parser.parse_args(argv)
+
+    families = list(DEFAULT_FAMILIES) + args.require
+    try:
+        text = scrape(args.url, args.timeout)
+    except (urllib.error.URLError, OSError) as error:
+        print(f"error: cannot scrape {args.url}: {error}", file=sys.stderr)
+        return 1
+
+    problems = check_families(text, families)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"metrics gate: {len(families)} families present and numeric")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,9 @@ from pathlib import Path
 from typing import Any
 
 from ..eval.reporting import to_jsonable
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_metrics
+from ..obs.timing import timed
 from ..service.client import (
     ServiceClient,
     ServiceError,
@@ -45,6 +48,11 @@ from .runner import CampaignRunError, CampaignRunner, _write_atomic
 from .spec import CampaignJob, CampaignSpec
 
 __all__ = ["CampaignDispatcher", "DispatchError", "dispatch_campaign"]
+
+_COOLDOWNS_TOTAL = get_metrics().counter(
+    "repro_dispatch_cooldowns_total",
+    "Dispatcher 429-saturation cooldowns (node window shrunk, cell parked).",
+)
 
 #: Remote job states that end a cell.
 _TERMINAL = ("done", "failed", "cancelled")
@@ -108,6 +116,13 @@ class _Cell:
     node: _Node
     remote_id: str
     attempts: int = field(default=1)
+    #: The cell's ``dispatch.cell`` span, open from first submission until
+    #: checkpoint or give-up; reassignments keep (and re-propagate) it, so
+    #: one cell is one span however many nodes it visited.
+    span: obs_trace.Span | None = field(default=None, repr=False)
+    #: Wall-clock first-submission time, surviving reassignments — the basis
+    #: of the checkpoint's ``wall_seconds``.
+    started_at: float = field(default_factory=time.time)
 
 
 class CampaignDispatcher:
@@ -143,6 +158,8 @@ class CampaignDispatcher:
         ]
         self._rr = 0  # round-robin tiebreak between equally loaded nodes
         self.stats: dict[str, Any] = {}
+        self._cooldowns = 0
+        self._root_span: obs_trace.Span | None = None
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -240,9 +257,29 @@ class CampaignDispatcher:
     # ------------------------------------------------------------------ #
 
     def _submit_cell(
-        self, job: CampaignJob, attempts: int = 1, ignore_window: bool = False
+        self,
+        job: CampaignJob,
+        attempts: int = 1,
+        ignore_window: bool = False,
+        cell_span: obs_trace.Span | None = None,
+        started_at: float | None = None,
     ) -> _Cell:
-        """Submit one cell to some alive node, failing over on dead ones."""
+        """Submit one cell to some alive node, failing over on dead ones.
+
+        The cell's ``dispatch.cell`` span (created on first submission,
+        reused on reassignments) is *activated* around the submit call, so
+        the client propagates it in ``X-Repro-Trace`` and the remote node's
+        ``http.request``/``job.run`` spans become its children — one
+        connected trace per cell across machines.
+        """
+        if cell_span is None:
+            cell_span = obs_trace.start_span(
+                "dispatch.cell",
+                attrs={"cell": job.cell, "grid": job.grid, "scenario": job.scenario},
+                parent=self._root_span.context if self._root_span else None,
+            )
+        if started_at is None:
+            started_at = time.time()
         while True:
             node = self._pick_node(ignore_window=ignore_window)
             if node is None and self._alive_nodes():
@@ -250,9 +287,11 @@ class CampaignDispatcher:
                 # window limit; the cell still has to land somewhere.
                 node = self._pick_node(ignore_window=True)
             if node is None:
+                cell_span.finish(error="no reachable node left")
                 raise DispatchError(self._dead_fleet_message())
             try:
-                record = node.client.submit(job.scenario, to_jsonable(job.params))
+                with obs_trace.activate(cell_span):
+                    record = node.client.submit(job.scenario, to_jsonable(job.params))
             except ServiceUnavailable as error:
                 if error.saturated:
                     # A full queue (429 through every retry) is backpressure,
@@ -260,6 +299,8 @@ class CampaignDispatcher:
                     # and place the cell elsewhere (or wait for a drain).
                     node.window = max(1, node.outstanding)
                     node.cooldown_until = time.monotonic() + max(self.poll_interval, 0.05)
+                    self._cooldowns += 1
+                    _COOLDOWNS_TOTAL.inc()
                     if self._pick_node() is None:
                         time.sleep(max(self.poll_interval, 0.05))
                     continue
@@ -283,13 +324,48 @@ class CampaignDispatcher:
                 continue
             node.outstanding += 1
             node.submitted += 1
-            return _Cell(job=job, node=node, remote_id=record["job_id"], attempts=attempts)
+            cell_span.set_attr("node", node.url)
+            return _Cell(
+                job=job,
+                node=node,
+                remote_id=record["job_id"],
+                attempts=attempts,
+                span=cell_span,
+                started_at=started_at,
+            )
 
     def _reassign(self, cell: _Cell, reason: str) -> _Cell:
         """Move a dead node's cell to a surviving node (window ignored)."""
         self._mark_dead(cell.node, reason)
         cell.node.outstanding = 0
-        return self._submit_cell(cell.job, attempts=cell.attempts + 1, ignore_window=True)
+        return self._submit_cell(
+            cell.job,
+            attempts=cell.attempts + 1,
+            ignore_window=True,
+            cell_span=cell.span,
+            started_at=cell.started_at,
+        )
+
+    @staticmethod
+    def _cell_timing(cell: _Cell, record: dict) -> dict:
+        """Provenance block for a remotely executed cell's checkpoint.
+
+        Mirrors :func:`repro.campaign.runner.job_timing` for local runs, with
+        the node URL as the worker identity; ``wall_seconds`` spans from first
+        submission, so reassignments and retries are included.
+        """
+        worker = cell.node.url
+        remote_worker = record.get("worker")
+        if isinstance(remote_worker, str) and remote_worker:
+            worker = f"{worker}#{remote_worker}"
+        return {
+            "wall_seconds": max(time.time() - cell.started_at, 0.0),
+            "queue_seconds": record.get("queue_seconds"),
+            "run_seconds": record.get("run_seconds"),
+            "worker": worker,
+            "cache_hit": record.get("cache_hit"),
+            "attempts": cell.attempts,
+        }
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -303,47 +379,62 @@ class CampaignDispatcher:
         :class:`~repro.campaign.runner.CampaignRunError` when cells failed
         remotely, or :class:`DispatchError` when every node died.
         """
-        started = time.perf_counter()
-        self.runner.prepare_run_dir()
-        completed = self.runner.completed_digests()
-        self._probe_nodes()
-
         executed = 0
         skipped = 0
         failures: list[tuple[CampaignJob, str]] = []
         failed_grids: set[str] = set()
-
-        for grid_name in self.plan.stage_order:
-            grid = next(g for g in self.spec.grids if g.name == grid_name)
-            if any(dep in failed_grids for dep in grid.depends_on):
-                failed_grids.add(grid_name)  # dependents of failures stay pending
-                continue
-            grid_jobs = self.plan.jobs_for_grid(grid_name)
-            pending = [job for job in grid_jobs if job.digest not in completed]
-            skipped += len(grid_jobs) - len(pending)
-            executed += self._run_grid(
-                grid_name, pending, completed, failures, failed_grids
-            )
-
         report_written = False
-        if not failures:
-            completed = self.runner.completed_digests()
-            if not any(job.digest not in completed for job in self.plan.jobs):
-                self.runner.write_report()
-                report_written = True
+        # The root span is created but NOT activated for the whole run: cell
+        # spans parent to it explicitly, while the poll-loop GETs stay out of
+        # the trace (hundreds of poll requests would drown the cell tree).
+        self._root_span = obs_trace.start_span(
+            "campaign.dispatch",
+            attrs={
+                "campaign": self.spec.name,
+                "run_dir": str(self.run_dir),
+                "nodes": [node.url for node in self.nodes],
+            },
+        )
+        with timed("campaign.dispatch") as timer:
+            try:
+                self.runner.prepare_run_dir()
+                completed = self.runner.completed_digests()
+                self._probe_nodes()
+
+                for grid_name in self.plan.stage_order:
+                    grid = next(g for g in self.spec.grids if g.name == grid_name)
+                    if any(dep in failed_grids for dep in grid.depends_on):
+                        failed_grids.add(grid_name)  # dependents of failures stay pending
+                        continue
+                    grid_jobs = self.plan.jobs_for_grid(grid_name)
+                    pending = [job for job in grid_jobs if job.digest not in completed]
+                    skipped += len(grid_jobs) - len(pending)
+                    executed += self._run_grid(
+                        grid_name, pending, completed, failures, failed_grids
+                    )
+
+                if not failures:
+                    completed = self.runner.completed_digests()
+                    if not any(job.digest not in completed for job in self.plan.jobs):
+                        self.runner.write_report()
+                        report_written = True
+            finally:
+                self._root_span.finish(status="error" if failures else "ok")
 
         self.stats = {
             "campaign": self.spec.name,
             "spec_digest": self.plan.spec_digest(),
             "run_dir": str(self.run_dir),
             "mode": "dispatch",
+            "trace_id": self._root_span.trace_id,
             "nodes": [node.summary() for node in self.nodes],
             "total_cells": len(self.plan.jobs),
             "executed": executed,
             "skipped_checkpointed": skipped,
             "failed": len(failures),
             "report_written": report_written,
-            "elapsed_seconds": time.perf_counter() - started,
+            "elapsed_seconds": timer.seconds,
+            "client": self._client_summary(),
         }
         _write_atomic(
             self.run_dir / "state.json",
@@ -352,6 +443,25 @@ class CampaignDispatcher:
         if failures:
             raise CampaignRunError(failures)
         return self.stats
+
+    def _client_summary(self) -> dict:
+        """Aggregate retry/cooldown counts for the end-of-run summary.
+
+        Tolerates client doubles without the retry tally (tests inject
+        factories); real :class:`ServiceClient` instances always have it.
+        """
+        total = 0
+        by_reason: dict[str, int] = {}
+        for node in self.nodes:
+            tally = getattr(node.client, "retries_by_reason", None) or {}
+            for reason, count in tally.items():
+                by_reason[reason] = by_reason.get(reason, 0) + count
+                total += count
+        return {
+            "retries": total,
+            "retries_by_reason": dict(sorted(by_reason.items())),
+            "cooldowns_429": self._cooldowns,
+        }
 
     def _run_grid(
         self,
@@ -378,7 +488,11 @@ class CampaignDispatcher:
                     # The node died while other cells were being handled; do
                     # not burn a full retry cycle against it per cell.
                     outstanding[digest] = self._submit_cell(
-                        cell.job, attempts=cell.attempts + 1, ignore_window=True
+                        cell.job,
+                        attempts=cell.attempts + 1,
+                        ignore_window=True,
+                        cell_span=cell.span,
+                        started_at=cell.started_at,
                     )
                     progressed = True
                     continue
@@ -406,9 +520,17 @@ class CampaignDispatcher:
                              f"gave up after {cell.attempts} attempt(s): {error}")
                         )
                         failed_grids.add(grid_name)
+                        if cell.span is not None:
+                            cell.span.finish(
+                                error=f"gave up after {cell.attempts} attempt(s)"
+                            )
                     else:
                         outstanding[digest] = self._submit_cell(
-                            cell.job, attempts=cell.attempts + 1, ignore_window=True
+                            cell.job,
+                            attempts=cell.attempts + 1,
+                            ignore_window=True,
+                            cell_span=cell.span,
+                            started_at=cell.started_at,
                         )
                     continue
                 if record["state"] not in _TERMINAL:
@@ -417,15 +539,22 @@ class CampaignDispatcher:
                 del outstanding[digest]
                 progressed = True
                 if record["state"] == "done":
-                    self.runner.checkpoint(cell.job, record["result"])
+                    self.runner.checkpoint(
+                        cell.job, record["result"], timing=self._cell_timing(cell, record)
+                    )
                     completed.add(digest)
                     cell.node.completed += 1
                     executed += 1
+                    if cell.span is not None:
+                        cell.span.set_attr("attempts", cell.attempts)
+                        cell.span.finish()
                 else:
                     failures.append(
                         (cell.job, record.get("error") or f"remote job {record['state']}")
                     )
                     failed_grids.add(grid_name)
+                    if cell.span is not None:
+                        cell.span.finish(error=f"remote job {record['state']}")
             if (queue or outstanding) and not progressed:
                 time.sleep(self.poll_interval)
         return executed

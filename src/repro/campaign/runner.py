@@ -33,11 +33,12 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import time
 from pathlib import Path
 from typing import Any
 
 from ..eval.reporting import to_jsonable
+from ..obs import trace as obs_trace
+from ..obs.timing import timed
 from .report import build_report, report_csv, serialize_report
 from .spec import (
     CampaignJob,
@@ -49,7 +50,27 @@ from .spec import (
     parse_spec,
 )
 
-__all__ = ["CampaignRunError", "CampaignRunner", "run_campaign"]
+__all__ = ["CampaignRunError", "CampaignRunner", "job_timing", "run_campaign"]
+
+
+def job_timing(pool_job) -> dict:
+    """Per-cell timing provenance from a finished pool job.
+
+    Becomes the checkpoint's ``"timing"`` block: wall clock (submit to
+    finish), the queue/run split, the worker that executed the cell, and
+    whether it was served from cache.  Consumed by
+    :func:`repro.obs.summary.summarize_run_dir`; never part of reports.
+    """
+    wall = None
+    if pool_job.finished_at is not None and pool_job.submitted_at is not None:
+        wall = max(pool_job.finished_at - pool_job.submitted_at, 0.0)
+    return {
+        "wall_seconds": wall,
+        "queue_seconds": pool_job.queue_seconds,
+        "run_seconds": pool_job.run_seconds,
+        "worker": pool_job.worker,
+        "cache_hit": pool_job.cache_hit,
+    }
 
 
 class CampaignRunError(RuntimeError):
@@ -213,69 +234,75 @@ class CampaignRunner:
         from ..service.jobs import JobState
         from ..service.workers import WorkerPool
 
-        started = time.perf_counter()
-        self.prepare_run_dir()
-        shard_plan = self.plan.shard(self.shard_index, self.shard_count)
-        completed = self.completed_digests()
-
-        pool = WorkerPool(
-            self.registry,
-            cache=ResultCache(max_entries=max(256, len(shard_plan.jobs))),
-            max_workers=self.jobs,
-            use_processes=self.use_processes,
-        )
-        executed = 0
-        skipped = 0
-        budget_left = self.max_jobs
         failures: list[tuple[CampaignJob, str]] = []
-        failed_grids: set[str] = set()
-        interrupted = False
-        try:
-            for grid_name in shard_plan.stage_order:
-                grid = next(g for g in self.spec.grids if g.name == grid_name)
-                if any(dep in failed_grids for dep in grid.depends_on):
-                    failed_grids.add(grid_name)  # dependents of failures stay pending
-                    continue
-                pending = [
-                    job
-                    for job in shard_plan.jobs_for_grid(grid_name)
-                    if job.digest not in completed
-                ]
-                skipped += len(shard_plan.jobs_for_grid(grid_name)) - len(pending)
-                if budget_left is not None:
-                    if budget_left == 0 and pending:
-                        interrupted = True
-                        break
-                    pending = pending[:budget_left]
-                # One grid is a barrier (its cells may be another grid's
-                # dependency); inside it, cells fan out across the pool.
-                in_flight = [(job, pool.submit(job.scenario, job.params)) for job in pending]
-                for job, pool_job in in_flight:
-                    pool_job.wait()
-                    if pool_job.state is JobState.FAILED:
-                        failures.append((job, pool_job.error or "unknown error"))
-                        failed_grids.add(grid_name)
-                        continue
-                    self.checkpoint(job, pool_job.result)
-                    completed.add(job.digest)
-                    executed += 1
-                if budget_left is not None:
-                    budget_left -= len(in_flight)
-                    if budget_left <= 0 and self._shard_pending(shard_plan, completed):
-                        interrupted = True
-                        break
-        finally:
-            pool.shutdown()
-
         report_written = False
-        if not failures and not interrupted:
-            # Re-glob rather than trusting the start-of-run snapshot: in a
-            # shared run directory other shards may have checkpointed cells
-            # while this shard executed, and the last finisher must notice.
+        # The root span makes this run one trace: pool.submit captures the
+        # active context, so every cell's job.run (and its codec spans)
+        # nests under campaign.run.
+        with timed("campaign.run") as timer, obs_trace.span(
+            "campaign.run",
+            attrs={"campaign": self.spec.name, "run_dir": str(self.run_dir)},
+        ):
+            self.prepare_run_dir()
+            shard_plan = self.plan.shard(self.shard_index, self.shard_count)
             completed = self.completed_digests()
-            if not self._plan_pending(completed):
-                self.write_report()
-                report_written = True
+
+            pool = WorkerPool(
+                self.registry,
+                cache=ResultCache(max_entries=max(256, len(shard_plan.jobs))),
+                max_workers=self.jobs,
+                use_processes=self.use_processes,
+            )
+            executed = 0
+            skipped = 0
+            budget_left = self.max_jobs
+            failed_grids: set[str] = set()
+            interrupted = False
+            try:
+                for grid_name in shard_plan.stage_order:
+                    grid = next(g for g in self.spec.grids if g.name == grid_name)
+                    if any(dep in failed_grids for dep in grid.depends_on):
+                        failed_grids.add(grid_name)  # dependents of failures stay pending
+                        continue
+                    pending = [
+                        job
+                        for job in shard_plan.jobs_for_grid(grid_name)
+                        if job.digest not in completed
+                    ]
+                    skipped += len(shard_plan.jobs_for_grid(grid_name)) - len(pending)
+                    if budget_left is not None:
+                        if budget_left == 0 and pending:
+                            interrupted = True
+                            break
+                        pending = pending[:budget_left]
+                    # One grid is a barrier (its cells may be another grid's
+                    # dependency); inside it, cells fan out across the pool.
+                    in_flight = [(job, pool.submit(job.scenario, job.params)) for job in pending]
+                    for job, pool_job in in_flight:
+                        pool_job.wait()
+                        if pool_job.state is JobState.FAILED:
+                            failures.append((job, pool_job.error or "unknown error"))
+                            failed_grids.add(grid_name)
+                            continue
+                        self.checkpoint(job, pool_job.result, timing=job_timing(pool_job))
+                        completed.add(job.digest)
+                        executed += 1
+                    if budget_left is not None:
+                        budget_left -= len(in_flight)
+                        if budget_left <= 0 and self._shard_pending(shard_plan, completed):
+                            interrupted = True
+                            break
+            finally:
+                pool.shutdown()
+
+            if not failures and not interrupted:
+                # Re-glob rather than trusting the start-of-run snapshot: in a
+                # shared run directory other shards may have checkpointed cells
+                # while this shard executed, and the last finisher must notice.
+                completed = self.completed_digests()
+                if not self._plan_pending(completed):
+                    self.write_report()
+                    report_written = True
 
         self.stats = {
             "campaign": self.spec.name,
@@ -289,7 +316,7 @@ class CampaignRunner:
             "failed": len(failures),
             "interrupted": interrupted,
             "report_written": report_written,
-            "elapsed_seconds": time.perf_counter() - started,
+            "elapsed_seconds": timer.seconds,
             "pool": pool.stats(),
         }
         _write_atomic(
@@ -306,8 +333,18 @@ class CampaignRunner:
     def _plan_pending(self, completed: set[str]) -> bool:
         return any(job.digest not in completed for job in self.plan.jobs)
 
-    def checkpoint(self, job: CampaignJob, result: Any) -> None:
-        """Atomically persist one cell's result as ``results/<digest>.json``."""
+    def checkpoint(
+        self, job: CampaignJob, result: Any, timing: dict | None = None
+    ) -> None:
+        """Atomically persist one cell's result as ``results/<digest>.json``.
+
+        ``timing`` is per-cell latency provenance (wall clock, queue/run
+        split, worker identity) for ``repro obs summary``.  It lives as a
+        *sibling* of ``result``: :meth:`load_results` reads only the result
+        payload and reports are built purely from results + manifest order,
+        so timing never leaks into ``report.json``/``report.csv`` — those
+        must stay byte-identical across local, resumed, and federated runs.
+        """
         payload = {
             "cell": job.cell,
             "grid": job.grid,
@@ -316,6 +353,8 @@ class CampaignRunner:
             "digest": job.digest,
             "result": to_jsonable(result),
         }
+        if timing is not None:
+            payload["timing"] = to_jsonable(timing)
         _write_atomic(
             self._result_path(job.digest),
             json.dumps(payload, indent=2, sort_keys=True) + "\n",

@@ -22,6 +22,9 @@ Examples::
     python -m repro.cli codec run microscaling --param bits=4 --rows 64
     python -m repro.cli codec run pipeline --stages \
         '[{"codec": "prune"}, {"codec": "ptq", "params": {"bits": 6}}]'
+    python -m repro.cli obs metrics --url http://localhost:8000
+    python -m repro.cli obs trace job-000001 --url http://localhost:8000
+    python -m repro.cli obs summary runs/pruning-grid-0123456789ab
 """
 
 from __future__ import annotations
@@ -29,13 +32,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Callable
 
 from .eval import experiments
 from .eval.ablations import run_all_ablations
 from .eval.benchmarks import BENCHMARK_MODEL_NAMES, BenchmarkSuite
 from .eval.experiments import json_payload
+from .obs import timed
 
 __all__ = ["main", "run_experiment", "EXPERIMENT_COMMANDS"]
 
@@ -263,23 +266,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "implies the pipeline codec",
     )
     codec_run.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability: scrape metrics, inspect traces, profile runs"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="print metrics (Prometheus text, or --json)"
+    )
+    obs_metrics.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="scrape GET /v1/metrics from a `repro serve` node "
+        "(default: this process's registry)",
+    )
+    obs_metrics.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    obs_trace = obs_sub.add_parser(
+        "trace", help="print the span tree of a service job"
+    )
+    obs_trace.add_argument("job_id", help="job id, e.g. job-000001")
+    obs_trace.add_argument(
+        "--url",
+        default="http://127.0.0.1:8000",
+        metavar="URL",
+        help="`repro serve` node holding the job (default: %(default)s)",
+    )
+    obs_trace.add_argument("--json", action="store_true", help="emit the raw span tree")
+
+    obs_summary = obs_sub.add_parser(
+        "summary", help="per-grid latency table for a campaign run directory"
+    )
+    obs_summary.add_argument("run_dir", help="campaign run directory (with checkpoints)")
+    obs_summary.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     return parser
 
 
 def _run_single(name: str, args: argparse.Namespace) -> int:
-    start = time.perf_counter()
-    result = run_experiment(
-        name,
-        models=getattr(args, "models", None),
-        seed=args.seed,
-        jobs=getattr(args, "jobs", 1),
-    )
-    elapsed = time.perf_counter() - start
+    with timed(f"experiment.{name}") as timer:
+        result = run_experiment(
+            name,
+            models=getattr(args, "models", None),
+            seed=args.seed,
+            jobs=getattr(args, "jobs", 1),
+        )
     if args.json:
         print(json.dumps(json_payload(result), indent=2))
     else:
         print(result["table"])
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print(f"[{name} regenerated in {timer.seconds:.1f}s]")
     return 0
 
 
@@ -312,7 +349,7 @@ def _serve(args: argparse.Namespace) -> int:
         print(f"  backpressure: 429 beyond {args.max_queued} unfinished job(s)")
     print(
         "  endpoints: /v1/health /v1/scenarios /v1/codecs /v1/compress /v1/jobs "
-        "/v1/cache/stats  (Ctrl-C to stop)"
+        "/v1/cache/stats /v1/metrics  (Ctrl-C to stop)"
     )
     try:
         server.serve_forever()
@@ -383,6 +420,19 @@ def _campaign_dispatch(args: argparse.Namespace) -> int:
     for node in stats["nodes"]:
         status = "ok" if node["alive"] else f"LOST ({node['reason']})"
         print(f"  {node['url']}: {node['completed']} cell(s) completed — {status}")
+    client_stats = stats.get("client") or {}
+    retries = client_stats.get("retries", 0)
+    cooldowns = client_stats.get("cooldowns_429", 0)
+    if retries or cooldowns:
+        by_reason = client_stats.get("retries_by_reason") or {}
+        detail = ", ".join(f"{reason}={count}" for reason, count in by_reason.items())
+        print(
+            f"  client: {retries} retrie(s)"
+            + (f" ({detail})" if detail else "")
+            + f", {cooldowns} backpressure cooldown(s)"
+        )
+    if stats.get("trace_id"):
+        print(f"  trace: {stats['trace_id']}")
     print(f"run dir: {stats['run_dir']}")
     if stats["report_written"]:
         print(f"report:  {dispatcher.run_dir / 'report.json'} (+ report.csv)")
@@ -549,6 +599,77 @@ def _codec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_span(node: dict, depth: int = 0) -> list[str]:
+    """One line per span, children indented under their parent."""
+    duration = node.get("duration")
+    timing = f"{duration * 1000:.1f}ms" if isinstance(duration, (int, float)) else "open"
+    status = node.get("status") or "open"
+    attrs = node.get("attrs") or {}
+    detail = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    line = f"{'  ' * depth}{node.get('name', '?')} [{status} {timing}]"
+    if detail:
+        line += f"  {detail}"
+    lines = [line]
+    for child in node.get("children", []):
+        lines.extend(_format_span(child, depth + 1))
+    return lines
+
+
+def _obs(args: argparse.Namespace) -> int:
+    from .obs import get_metrics, summarize_run_dir
+    from .obs.summary import SummaryError, format_summary_table
+    from .service.client import ServiceClient, ServiceError
+
+    if args.obs_command == "metrics":
+        if args.url is None:
+            registry = get_metrics()
+            if args.json:
+                print(json.dumps(registry.to_jsonable(), indent=2, sort_keys=True))
+            else:
+                print(registry.render_prometheus(), end="")
+            return 0
+        try:
+            client = ServiceClient(args.url)
+            if args.json:
+                print(json.dumps(client.metrics(format="json"), indent=2, sort_keys=True))
+            else:
+                print(client.metrics(), end="")
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.obs_command == "trace":
+        try:
+            payload = ServiceClient(args.url).job_trace(args.job_id)
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"job {payload['job_id']} ({payload['state']}): "
+            f"trace {payload['trace_id']}, {payload['span_count']} span(s)"
+        )
+        for root in payload["trace"]:
+            for line in _format_span(root):
+                print(f"  {line}")
+        return 0
+
+    # summary
+    try:
+        summary = summarize_run_dir(args.run_dir)
+    except SummaryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary_table(summary))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
@@ -562,6 +683,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  all")
         print("  campaign (run/resume/report/dispatch declarative campaign specs)")
         print("  codec (run/list composable compression codecs)")
+        print("  obs (metrics/trace/summary observability surfaces)")
         return 0
 
     if args.command == "ablations":
@@ -590,6 +712,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "codec":
         return _codec(args)
+
+    if args.command == "obs":
+        return _obs(args)
 
     return _run_single(args.command, args)
 

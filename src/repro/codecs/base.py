@@ -24,6 +24,7 @@ across processes and machines.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -31,6 +32,16 @@ import numpy as np
 
 from ..core.hashing import stable_digest
 from ..core.metrics import ReconstructionMetricsMixin
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as _trace_span
+
+#: Resolved once: the per-call get-or-create lookup (name/label validation)
+#: is measurable against sub-millisecond codec compressions.
+_COMPRESS_SECONDS = get_metrics().histogram(
+    "repro_codec_compress_seconds",
+    "Codec compress latency per codec (pipelines report as 'pipeline').",
+    ("codec",),
+)
 
 __all__ = [
     "Codec",
@@ -191,6 +202,27 @@ class Codec:
 
     def compress(self, tensor: np.ndarray, **params: Any) -> CompressionResult:
         raise NotImplementedError
+
+    def instrumented_compress(
+        self, tensor: np.ndarray, **params: Any
+    ) -> CompressionResult:
+        """``compress`` wrapped in a ``codec.compress`` trace span and the
+        ``repro_codec_compress_seconds{codec}`` histogram.
+
+        The one observed entry point for top-level compressions —
+        :func:`~repro.codecs.registry.run_codec` routes through it — so the
+        span joins whatever trace is active (an HTTP job, a campaign cell)
+        and every backend is measured identically.  Pipeline *stages* are
+        instrumented separately (``repro_pipeline_stage_seconds``) and call
+        ``compress`` directly, so this histogram counts whole invocations,
+        not inner stages twice.
+        """
+        start = time.perf_counter()
+        try:
+            with _trace_span("codec.compress", attrs={"codec": self.name}):
+                return self.compress(tensor, **params)
+        finally:
+            _COMPRESS_SECONDS.observe(time.perf_counter() - start, codec=self.name)
 
     def decompress(self, result: CompressionResult) -> np.ndarray:
         """Reconstruct the tensor from ``result``'s stored artifact.

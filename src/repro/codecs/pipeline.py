@@ -24,11 +24,14 @@ submitted through ``/v1/compress``, and can be swept by campaign
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping
 
 import numpy as np
 
 from ..core.metrics import mse as _mse
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as _trace_span
 from .base import Codec, CodecError, CompressionResult, StageMetrics
 from .registry import get_codec, register_codec
 
@@ -85,9 +88,24 @@ class PipelineCodec(Codec):
         current = original
         stage_metrics: list[StageMetrics] = []
         last: CompressionResult | None = None
-        for entry in stages:
+        stage_seconds = get_metrics().histogram(
+            "repro_pipeline_stage_seconds",
+            "Per-stage compress latency inside pipeline codecs.",
+            ("codec",),
+        )
+        for position, entry in enumerate(stages):
             codec = get_codec(entry["codec"])
-            result = codec.compress(current, **entry["params"])
+            # One span + one latency sample per stage; timing stays out of
+            # StageMetrics because those feed result payloads and campaign
+            # reports, which must be byte-identical across runs.
+            stage_start = time.perf_counter()
+            with _trace_span(
+                "pipeline.stage", attrs={"codec": codec.name, "position": position}
+            ):
+                result = codec.compress(current, **entry["params"])
+            stage_seconds.observe(
+                time.perf_counter() - stage_start, codec=codec.name
+            )
             stage_metrics.append(
                 StageMetrics(
                     codec=codec.name,

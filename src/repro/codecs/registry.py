@@ -107,10 +107,15 @@ def describe_codecs(names: Iterable[str] | None = None) -> list[dict]:
 def run_codec(
     name: str, tensor: np.ndarray, params: Mapping[str, Any] | None = None
 ) -> CompressionResult:
-    """Validate ``params`` against the codec's schema and compress ``tensor``."""
+    """Validate ``params`` against the codec's schema and compress ``tensor``.
+
+    Runs through :meth:`Codec.instrumented_compress`, so every call emits a
+    ``codec.compress`` trace span and a latency sample — the codec layer's
+    contribution to the observability surface.
+    """
     codec = get_codec(name)
     merged = codec.validate_params(params)
-    return codec.compress(tensor, **merged)
+    return codec.instrumented_compress(tensor, **merged)
 
 
 _builtins_loaded = False

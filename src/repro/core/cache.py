@@ -23,7 +23,23 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
+from ..obs.metrics import get_metrics
+
 __all__ = ["MISSING", "CacheStats", "ResultCache"]
+
+# Process-wide counters mirroring every cache instance's CacheStats: the
+# per-instance stats stay authoritative for /v1/cache, the global families
+# aggregate across instances (service pool, campaign pools, artifact memo)
+# for /v1/metrics scrapes.  Bound once — counter lookups are off the hot path.
+_OBS = get_metrics()
+_OBS_HITS = _OBS.counter("repro_cache_hits_total", "Result-cache hits (memory or disk).")
+_OBS_MISSES = _OBS.counter("repro_cache_misses_total", "Result-cache misses.")
+_OBS_STORES = _OBS.counter("repro_cache_stores_total", "Result-cache stores.")
+_OBS_EVICTIONS = _OBS.counter("repro_cache_evictions_total", "Result-cache LRU evictions.")
+_OBS_DISK_ERRORS = _OBS.counter(
+    "repro_cache_disk_errors_total",
+    "Failed best-effort disk reads/writes of the result cache.",
+)
 
 
 class _Missing:
@@ -101,6 +117,7 @@ class ResultCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
+                _OBS_HITS.inc()
                 return self._entries[key]
         # Disk fallback outside the lock: file I/O must not serialize every
         # concurrent cache access across worker and handler threads.
@@ -109,14 +126,17 @@ class ResultCache:
             if key in self._entries:  # raced with a concurrent put/get
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
+                _OBS_HITS.inc()
                 return self._entries[key]
             if value is not MISSING:
                 self._insert(key)
                 self._entries[key] = value
                 self._stats.hits += 1
                 self._stats.disk_hits += 1
+                _OBS_HITS.inc()
                 return value
             self._stats.misses += 1
+            _OBS_MISSES.inc()
             return default
 
     def put(self, key: str, value: Any) -> None:
@@ -131,6 +151,7 @@ class ResultCache:
             self._insert(key)
             self._entries[key] = value
             self._stats.stores += 1
+            _OBS_STORES.inc()
         if self._directory is not None:
             # Written outside the lock; the tmp-file + rename keeps each key's
             # file atomic, and concurrent writers of the same key write equal
@@ -140,6 +161,7 @@ class ResultCache:
             except (TypeError, ValueError, OSError):
                 with self._lock:
                     self._stats.disk_errors += 1
+                _OBS_DISK_ERRORS.inc()
 
     def _insert(self, key: str) -> None:
         """Reserve a slot for ``key``: refresh if present, else evict to fit."""
@@ -149,6 +171,7 @@ class ResultCache:
         while len(self._entries) >= self.max_entries:
             self._entries.popitem(last=False)
             self._stats.evictions += 1
+            _OBS_EVICTIONS.inc()
 
     # ------------------------------------------------------------------ #
     # Disk persistence

@@ -32,6 +32,7 @@ from ..accelerators import (
 )
 from ..core.global_pruning import CONSERVATIVE_PRESET, MODERATE_PRESET
 from ..core.hashing import stable_digest
+from ..obs.timing import timed
 from ..nn.model_zoo import ModelSpec, get_model
 from ..nn.synthetic import LayerWeights, synthesize_model
 
@@ -131,7 +132,18 @@ class BenchmarkSuite:
         ``jobs > 1`` each ``(model, accelerator)`` simulation becomes one
         process-pool task; results are identical to the serial path because
         every simulation is deterministic in the suite config.
+
+        The whole sweep is observed as one
+        ``repro_operation_seconds{operation="benchmark.performances"}``
+        sample — coarse on purpose: per-simulation timing would dominate the
+        hot loop the perf gate watches.
         """
+        with timed("benchmark.performances"):
+            return self._performances(models, accelerators)
+
+    def _performances(
+        self, models: list[str], accelerators: list[str] | None = None
+    ) -> dict[str, dict[str, ModelPerformance]]:
         accelerators = list(accelerators or ACCELERATOR_NAMES)
         results: dict[str, dict[str, ModelPerformance]] = {
             name: {} for name in models

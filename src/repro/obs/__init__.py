@@ -1,0 +1,74 @@
+"""repro.obs — metrics, tracing, and profiling for the whole stack.
+
+Three stdlib-only pieces, shared by the service, campaign, and codec layers:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  and fixed-bucket histograms, rendered as Prometheus text by
+  ``GET /v1/metrics`` (:func:`get_metrics`).
+* :mod:`repro.obs.trace` — trace spans with contextvar propagation in
+  process and an ``X-Repro-Trace`` header across HTTP, recorded to an
+  in-memory ring (``GET /v1/jobs/<id>/trace``) and an optional JSONL log
+  next to the job journal.
+* :mod:`repro.obs.timing` — :func:`timed`, the one timing idiom for CLI and
+  eval code, feeding ``repro_operation_seconds``.
+
+``repro obs`` on the command line exposes all three (``metrics``, ``trace``,
+``summary``).
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    get_metrics,
+)
+from .summary import SummaryError, format_summary_table, summarize_run_dir
+from .timing import Timer, timed
+from .trace import (
+    TRACE_HEADER,
+    Span,
+    TraceBuffer,
+    TraceContext,
+    TraceLog,
+    activate,
+    build_span_tree,
+    current_context,
+    format_traceparent,
+    get_recorder,
+    new_trace_id,
+    parse_traceparent,
+    span,
+    start_span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "SummaryError",
+    "TRACE_HEADER",
+    "Timer",
+    "TraceBuffer",
+    "TraceContext",
+    "TraceLog",
+    "activate",
+    "build_span_tree",
+    "current_context",
+    "format_summary_table",
+    "format_traceparent",
+    "get_metrics",
+    "get_recorder",
+    "new_trace_id",
+    "parse_traceparent",
+    "span",
+    "start_span",
+    "summarize_run_dir",
+    "timed",
+]

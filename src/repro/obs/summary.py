@@ -1,0 +1,149 @@
+"""Offline latency profiling of a campaign run directory.
+
+Reports are byte-identical across local, resumed, and federated runs — that
+is test- and CI-enforced — so per-cell timing deliberately lives *outside*
+``report.json``: checkpoints carry a ``"timing"`` sibling key that the report
+builder never reads.  This module is the consumer of that provenance: it
+joins ``manifest.json`` with every checkpoint's timing block and aggregates
+per-stage (grid) latency, answering "which cells were slow" without touching
+the deterministic artifacts.
+
+Cells checkpointed before this instrumentation existed simply have no timing
+block; they are counted but excluded from the latency statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["SummaryError", "format_summary_table", "summarize_run_dir"]
+
+
+class SummaryError(RuntimeError):
+    """The directory is not a campaign run dir, or its manifest is unreadable."""
+
+
+def _load_json(path: Path) -> Any:
+    try:
+        with path.open("r", encoding="utf-8") as stream:
+            return json.load(stream)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SummaryError(f"cannot read {path}: {exc}") from exc
+
+
+def summarize_run_dir(run_dir: str | Path) -> dict:
+    """Aggregate per-stage latency from a run directory's checkpoints."""
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / "manifest.json"
+    if not manifest_path.is_file():
+        raise SummaryError(
+            f"{run_dir} is not a campaign run directory (no manifest.json)"
+        )
+    manifest = _load_json(manifest_path)
+    results_dir = run_dir / "results"
+
+    stages: dict[str, dict] = {}
+    for grid in manifest.get("stage_order", []):
+        stages[grid] = {
+            "grid": grid,
+            "cells": 0,
+            "checkpointed": 0,
+            "timed": 0,
+            "cached": 0,
+            "total_seconds": 0.0,
+            "mean_seconds": None,
+            "max_seconds": None,
+            "slowest_cell": None,
+            "workers": set(),
+        }
+
+    for entry in manifest.get("cells", []):
+        grid = entry.get("grid")
+        stage = stages.setdefault(
+            grid,
+            {
+                "grid": grid, "cells": 0, "checkpointed": 0, "timed": 0,
+                "cached": 0, "total_seconds": 0.0, "mean_seconds": None,
+                "max_seconds": None, "slowest_cell": None, "workers": set(),
+            },
+        )
+        stage["cells"] += 1
+        checkpoint_path = results_dir / f"{entry['digest']}.json"
+        if not checkpoint_path.is_file():
+            continue
+        stage["checkpointed"] += 1
+        try:
+            checkpoint = _load_json(checkpoint_path)
+        except SummaryError:
+            continue
+        timing = checkpoint.get("timing")
+        if not isinstance(timing, dict):
+            continue
+        wall = timing.get("wall_seconds")
+        if not isinstance(wall, (int, float)):
+            continue
+        stage["timed"] += 1
+        stage["total_seconds"] += float(wall)
+        if stage["max_seconds"] is None or wall > stage["max_seconds"]:
+            stage["max_seconds"] = float(wall)
+            stage["slowest_cell"] = entry.get("cell")
+        if timing.get("cache_hit"):
+            stage["cached"] += 1
+        worker = timing.get("worker")
+        if worker:
+            stage["workers"].add(str(worker))
+
+    for stage in stages.values():
+        if stage["timed"]:
+            stage["mean_seconds"] = stage["total_seconds"] / stage["timed"]
+        stage["workers"] = sorted(stage["workers"])
+
+    ordered = manifest.get("stage_order") or sorted(stages)
+    stage_rows = [stages[name] for name in ordered if name in stages]
+    for name in sorted(stages):
+        if name not in ordered:
+            stage_rows.append(stages[name])
+    return {
+        "campaign": manifest.get("campaign"),
+        "spec_digest": manifest.get("spec_digest"),
+        "run_dir": str(run_dir),
+        "total_cells": manifest.get("total_cells", sum(s["cells"] for s in stage_rows)),
+        "stages": stage_rows,
+    }
+
+
+def format_summary_table(summary: dict) -> str:
+    """Render the per-stage latency table `repro obs summary` prints."""
+    headers = ("stage", "cells", "done", "timed", "cached",
+               "total_s", "mean_s", "max_s", "slowest_cell", "workers")
+    rows = []
+    for stage in summary["stages"]:
+        def fmt(value):
+            return f"{value:.3f}" if isinstance(value, float) else "-"
+        rows.append(
+            (
+                str(stage["grid"]),
+                str(stage["cells"]),
+                str(stage["checkpointed"]),
+                str(stage["timed"]),
+                str(stage["cached"]),
+                fmt(stage["total_seconds"] if stage["timed"] else None),
+                fmt(stage["mean_seconds"]),
+                fmt(stage["max_seconds"]),
+                str(stage["slowest_cell"] or "-"),
+                ",".join(stage["workers"]) or "-",
+            )
+        )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -28,6 +28,9 @@ import urllib.error
 import urllib.request
 from typing import Any, Callable
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_metrics
+
 __all__ = [
     "JobFailedError",
     "ServiceClient",
@@ -79,6 +82,23 @@ class JobFailedError(ServiceError):
 #: HTTP statuses worth retrying: saturation and transient upstream errors.
 _RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
 
+_RETRIES_TOTAL = get_metrics().counter(
+    "repro_client_retries_total",
+    "ServiceClient retry attempts, by cause.",
+    ("reason",),
+)
+
+
+def _retry_reason(cause: str) -> str:
+    """Collapse a retry cause onto a small, fixed label set."""
+    if cause == "HTTP 429":
+        return "http_429"
+    if cause.startswith("HTTP 5"):
+        return "http_5xx"
+    if cause.startswith("non-JSON response"):
+        return "bad_json"
+    return "network"
+
 
 class ServiceClient:
     """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8000")``.
@@ -111,6 +131,10 @@ class ServiceClient:
         self.api_prefix = api_prefix.rstrip("/")
         self._sleep = sleep
         self._scenario_defaults: dict[str, dict] | None = None
+        #: Per-instance retry tally (reason -> count), mirrored into the
+        #: process-wide ``repro_client_retries_total`` family; the campaign
+        #: dispatcher aggregates these into its end-of-run summary.
+        self.retries_by_reason: dict[str, int] = {}
 
     def __repr__(self) -> str:
         return f"ServiceClient({self.base_url!r})"
@@ -120,13 +144,23 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
 
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One JSON round trip with retry/backoff; returns the decoded body."""
+        """One JSON round trip with retry/backoff; returns the decoded body.
+
+        When a trace context is active (the request happens inside a span —
+        e.g. a campaign cell), it is propagated in the ``X-Repro-Trace``
+        header so the server's ``http.request`` span joins the caller's
+        trace.  Transient failures that will be retried are counted, per
+        cause, on this instance and in the metrics registry.
+        """
         url = self.base_url + path
         data = None
         headers = {}
         if payload is not None:
             data = json.dumps(payload, allow_nan=False).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        ctx = obs_trace.current_context()
+        if ctx is not None:
+            headers[obs_trace.TRACE_HEADER] = obs_trace.format_traceparent(ctx)
         last_cause = "no attempt made"
         attempts = self.retries + 1
         for attempt in range(attempts):
@@ -144,17 +178,35 @@ class ServiceClient:
                     body = None
                 if status in _RETRYABLE_STATUSES:
                     last_cause = f"HTTP {status}"
+                    self._count_retry(last_cause, attempt, attempts)
                     continue
                 raise ServiceRequestError(status, body, url) from None
             except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
                 last_cause = str(getattr(error, "reason", None) or error)
+                self._count_retry(last_cause, attempt, attempts)
                 continue
             except json.JSONDecodeError as error:
                 last_cause = f"non-JSON response: {error}"
+                self._count_retry(last_cause, attempt, attempts)
                 continue
         raise ServiceUnavailable(
             url, attempts, last_cause, saturated=last_cause == "HTTP 429"
         )
+
+    def _count_retry(self, cause: str, attempt: int, attempts: int) -> None:
+        """Count a transient failure that another attempt will follow."""
+        if attempt >= attempts - 1:
+            return  # last attempt: the failure raises, no retry happens
+        reason = _retry_reason(cause)
+        self.retries_by_reason[reason] = self.retries_by_reason.get(reason, 0) + 1
+        _RETRIES_TOTAL.inc(reason=reason)
+
+    def retry_stats(self) -> dict:
+        """``{"total": N, "by_reason": {...}}`` of this client's retries."""
+        return {
+            "total": sum(self.retries_by_reason.values()),
+            "by_reason": dict(sorted(self.retries_by_reason.items())),
+        }
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -175,6 +227,29 @@ class ServiceClient:
 
     def cache_stats(self) -> dict:
         return self.request("GET", self._path("/cache/stats"))
+
+    def metrics(self, format: str | None = None) -> dict | str:
+        """``GET /v1/metrics``: Prometheus text, or a dict with ``format="json"``.
+
+        The text scrape is a single attempt (no retry loop): a scraper's next
+        cycle is the retry, and partial metric text is worse than none.
+        """
+        if format == "json":
+            return self.request("GET", self._path("/metrics?format=json"))
+        url = self.base_url + self._path("/metrics")
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceRequestError(error.code, None, url) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+            cause = str(getattr(error, "reason", None) or error)
+            raise ServiceUnavailable(url, 1, cause) from None
+
+    def job_trace(self, job_id: str) -> dict:
+        """``GET /v1/jobs/<id>/trace`` — the job's span tree (see repro.obs)."""
+        return self.request("GET", self._path(f"/jobs/{job_id}/trace"))
 
     def submit(self, job_type: str, params: dict | None = None,
                wait: float | None = None) -> dict:

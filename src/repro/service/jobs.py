@@ -52,6 +52,13 @@ class Job:
     error: str | None = None
     cache_hit: bool = False
     dedup_count: int = 0
+    #: Trace this job belongs to (minted at submit if no context was active)
+    #: and the submitter's span it hangs under — the link that joins a
+    #: ``job.run`` span to the HTTP request (or campaign cell) that caused it.
+    trace_id: str | None = None
+    parent_span_id: str | None = None
+    #: Which worker executed the job (thread name, or "process-pool").
+    worker: str | None = None
     _submitted_pc: float = field(default_factory=time.perf_counter, repr=False, compare=False)
     _started_pc: float | None = field(default=None, repr=False, compare=False)
     _done_event: threading.Event = field(
@@ -131,6 +138,8 @@ class Job:
             "run_seconds": self.run_seconds,
             "cache_hit": self.cache_hit,
             "dedup_count": self.dedup_count,
+            "trace_id": self.trace_id,
+            "worker": self.worker,
             "error": self.error,
         }
         if include_result:

@@ -31,12 +31,21 @@ import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
+from ..obs.metrics import get_metrics
 from .jobs import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .workers import WorkerPool
 
 __all__ = ["JobJournal"]
+
+_OBS_APPENDS = get_metrics().counter(
+    "repro_journal_appends_total", "Job-journal lines appended, by event.", ("event",)
+)
+_OBS_WRITE_ERRORS = get_metrics().counter(
+    "repro_journal_write_errors_total",
+    "Journal lines lost to write errors (full disk, unserializable params).",
+)
 
 
 #: Journal event name per terminal job state.
@@ -72,6 +81,9 @@ class JobJournal:
                 self._handle.flush()
             except (TypeError, ValueError, OSError):
                 self.write_errors += 1
+                _OBS_WRITE_ERRORS.inc()
+                return
+        _OBS_APPENDS.inc(event=event)
 
     def record_submit(self, job: Job) -> None:
         self.record(
@@ -81,6 +93,7 @@ class JobJournal:
             params=job.params,
             digest=job.digest,
             submitted_at=job.submitted_at,
+            trace_id=job.trace_id,
         )
 
     def record_finish(self, job: Job) -> None:
@@ -139,6 +152,7 @@ class JobJournal:
                     "type": record.get("type"),
                     "params": record.get("params"),
                     "digest": record.get("digest"),
+                    "trace_id": record.get("trace_id"),
                     "state": None,
                     "error": None,
                 }
@@ -164,6 +178,7 @@ class JobJournal:
                 entry["digest"],
                 state=entry["state"],
                 error=entry["error"],
+                trace_id=entry["trace_id"] if isinstance(entry["trace_id"], str) else None,
             )
             stats["replayed"] += 1
             if requeued:

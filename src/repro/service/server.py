@@ -22,6 +22,9 @@ GET       /v1/jobs                   job summaries (``?state=``, ``?offset=``,
                                      ``?limit=`` filter and paginate)
 GET       /v1/jobs/<id>              one job's status (no result)
 GET       /v1/jobs/<id>/result       finished job's full record incl. result
+GET       /v1/jobs/<id>/trace        the job's span tree (see :mod:`repro.obs`)
+GET       /v1/metrics                Prometheus text exposition of the process
+                                     metrics registry (``?format=json`` for JSON)
 POST      /v1/jobs                   submit ``{"type": ..., "params": {...}}``
 POST      /v1/jobs/<id>/cancel       cancel a still-queued job
 POST      /v1/compress               compress with a registered codec/pipeline
@@ -58,6 +61,9 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_metrics
+from ..obs.trace import TraceLog
 from .cache import ResultCache
 from .jobs import JobState
 from .journal import JobJournal
@@ -79,6 +85,8 @@ V1_ROUTES = (
     "GET /v1/jobs",
     "GET /v1/jobs/<id>",
     "GET /v1/jobs/<id>/result",
+    "GET /v1/jobs/<id>/trace",
+    "GET /v1/metrics",
     "GET /v1/scenarios",
     "POST /v1/campaign",
     "POST /v1/compress",
@@ -98,6 +106,36 @@ MAX_WAIT_SECONDS = 300.0
 #: Upper bound on request bodies (a campaign spec is a few KiB; anything in
 #: the tens of MiB is a mistake or abuse and must not balloon the heap).
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_OBS = get_metrics()
+_HTTP_REQUESTS = _OBS.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, route pattern, and status code.",
+    ("method", "route", "status"),
+)
+_HTTP_SECONDS = _OBS.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency per route pattern.",
+    ("route",),
+)
+
+_V1_ROUTE_SET = frozenset(V1_ROUTES)
+
+
+def _route_label(method: str, parts: list[str]) -> str:
+    """Map a request to its route *pattern* so metric labels stay bounded.
+
+    Job ids collapse to ``<id>``; anything that matches no declared route
+    (bad paths, probes, scanners) collapses to one ``unrouted`` label instead
+    of minting a series per attacker-chosen path.
+    """
+    normalized = list(parts)
+    if len(normalized) >= 2 and normalized[0] == "jobs":
+        normalized[1] = "<id>"
+    candidate = "/v1/" + "/".join(normalized)
+    if f"{method} {candidate}" in _V1_ROUTE_SET:
+        return candidate
+    return "unrouted"
 
 
 class _HTTPError(Exception):
@@ -130,8 +168,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self._send_body(status, body, "application/json; charset=utf-8")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self._observed_status = status  # feeds the request metrics/span
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         successor = getattr(self, "_successor_path", None)
         if successor is not None:
@@ -204,7 +249,37 @@ class _RequestHandler(BaseHTTPRequestHandler):
         queue (429), handler bugs and unserializable results (500), and a
         client that disconnected mid-response (swallowed — there is nobody
         left to answer).
+
+        It is also the observability choke point: every request is timed
+        into the HTTP metric families under its route *pattern*, and runs
+        inside an ``http.request`` span — joined to the caller's trace when
+        the request carried an ``X-Repro-Trace`` header, freshly minted
+        otherwise — so jobs submitted by the route become its children.
         """
+        url = urlsplit(self.path)
+        route_label = _route_label(self.command, self._split_path(url))
+        self._observed_status = 0  # 0 = connection died before a response
+        request_span = obs_trace.start_span(
+            "http.request",
+            attrs={"method": self.command, "route": route_label, "path": url.path},
+            parent=obs_trace.parse_traceparent(
+                self.headers.get(obs_trace.TRACE_HEADER)
+            ),
+        )
+        started = time.perf_counter()
+        try:
+            with obs_trace.activate(request_span):
+                self._dispatch_route(route)
+        finally:
+            status = self._observed_status
+            request_span.set_attr("status", status)
+            request_span.finish(status="error" if status >= 500 or status == 0 else "ok")
+            _HTTP_SECONDS.observe(time.perf_counter() - started, route=route_label)
+            _HTTP_REQUESTS.inc(
+                method=self.command, route=route_label, status=str(status)
+            )
+
+    def _dispatch_route(self, route) -> None:
         try:
             route()
         except _HTTPError as error:
@@ -270,6 +345,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
             )
         elif parts == ["cache", "stats"]:
             self._send_json(200, pool.cache.stats())
+        elif parts == ["metrics"]:
+            self._send_metrics(url.query)
         elif parts == ["jobs"]:
             self._send_json(200, self._list_jobs(url.query))
         elif len(parts) in (2, 3) and parts[0] == "jobs":
@@ -285,10 +362,55 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     self._send_json(409, {**job.to_dict(), "error": "job not finished"})
                 else:
                     self._send_json(200, job.to_dict(include_result=True))
+            elif parts[2] == "trace" and self._successor_path is None:
+                # /v1-only (like /v1/codecs): the unversioned surface is
+                # frozen, so the trace endpoint has no legacy alias.
+                self._send_job_trace(job)
             else:
                 self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
         else:
             self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+
+    def _send_metrics(self, query_string: str) -> None:
+        """``GET /v1/metrics``: Prometheus text by default, ``?format=json``."""
+        query = parse_qs(query_string)
+        fmt = query.get("format", ["prometheus"])[0]
+        registry = get_metrics()
+        if fmt == "json":
+            self._send_json(200, registry.to_jsonable())
+        elif fmt in ("prometheus", "text"):
+            self._send_text(
+                200,
+                registry.render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            raise _HTTPError(
+                400, f'invalid "format" {fmt!r}; one of ["json", "prometheus"]'
+            )
+
+    def _send_job_trace(self, job) -> None:
+        """``GET /v1/jobs/<id>/trace``: the job's span tree, best-effort.
+
+        Spans come from the in-memory ring buffer, so a very old job may
+        answer with an empty tree — the trace id is still returned so the
+        caller can grep the JSONL trace log.
+        """
+        spans = (
+            self.server.recorder.buffer.spans_for_trace(job.trace_id)
+            if job.trace_id
+            else []
+        )
+        self._send_json(
+            200,
+            {
+                "job_id": job.job_id,
+                "trace_id": job.trace_id,
+                "state": job.state.value,
+                "span_count": len(spans),
+                "trace": obs_trace.build_span_tree(spans),
+            },
+        )
 
     def _route_post(self) -> None:
         url = urlsplit(self.path)
@@ -492,10 +614,17 @@ class ReproServer(ThreadingHTTPServer):
         verbose: bool = False,
         max_queued: int | None = None,
         journal: JobJournal | None = None,
+        trace_log: TraceLog | None = None,
     ):
         super().__init__(address, _RequestHandler)
         self.registry = registry
         self.journal = journal
+        # Spans already flow to the process-wide in-memory ring; a trace log
+        # additionally persists them as JSONL next to the journal.
+        self.recorder = obs_trace.get_recorder()
+        self.trace_log = trace_log
+        if trace_log is not None:
+            self.recorder.add_sink(trace_log)
         self.pool = WorkerPool(
             registry,
             cache=cache,
@@ -525,6 +654,8 @@ class ReproServer(ThreadingHTTPServer):
         self.pool.shutdown(wait=wait)
         if self.journal is not None:
             self.journal.close()
+        if self.trace_log is not None:
+            self.recorder.remove_sink(self.trace_log)
 
 
 def create_server(
@@ -551,10 +682,15 @@ def create_server(
     ``<journal_dir>/journal.jsonl`` and replayed on startup, and — unless an
     explicit ``cache``/``cache_dir`` says otherwise — cached results persist
     under ``<journal_dir>/cache`` so replayed jobs keep their payloads.
+    Finished trace spans are appended to ``<journal_dir>/trace.jsonl``
+    alongside it.
     """
     if registry is None:
         registry = build_default_registry()
     journal = JobJournal(journal_dir) if journal_dir is not None else None
+    trace_log = (
+        TraceLog(journal.directory / "trace.jsonl") if journal is not None else None
+    )
     if cache is None:
         if cache_dir is None and journal is not None:
             cache_dir = str(journal.directory / "cache")
@@ -568,4 +704,5 @@ def create_server(
         verbose=verbose,
         max_queued=max_queued,
         journal=journal,
+        trace_log=trace_log,
     )

@@ -38,11 +38,36 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..core.cache import MISSING, ResultCache
 from ..core.hashing import stable_digest
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_metrics
 from .jobs import Job, JobState, JobStore
 from .journal import JobJournal
 from .registry import ScenarioRegistry
 
 __all__ = ["QueueFullError", "WorkerPool", "job_digest"]
+
+# Pool-level metric families, shared across every pool in the process (the
+# service pool and any campaign pools aggregate into one scrape).
+_OBS = get_metrics()
+_JOBS_TOTAL = _OBS.counter(
+    "repro_jobs_total",
+    "Job lifecycle events per scenario: submitted, cache_hit, dedup_hit, "
+    "rejected, restored, done, failed, cancelled.",
+    ("scenario", "event"),
+)
+_QUEUE_DEPTH = _OBS.gauge(
+    "repro_job_queue_depth",
+    "Unfinished (queued or running) jobs currently held by the worker pool.",
+)
+_QUEUE_WAIT = _OBS.histogram(
+    "repro_job_queue_wait_seconds",
+    "Time jobs spent queued before a worker picked them up.",
+)
+_RUN_SECONDS = _OBS.histogram(
+    "repro_job_run_seconds",
+    "Job execution wall-clock time per scenario.",
+    ("scenario",),
+)
 
 
 def job_digest(job_type: str, params: dict) -> str:
@@ -139,14 +164,23 @@ class WorkerPool:
         # kept and rejected at run time, failing the job with a clear error).
         params = {**declared.defaults, **dict(params or {})}
         digest = job_digest(job_type, params)
+        # Capture the submitter's trace context now (the caller's thread owns
+        # the contextvar); worker threads re-activate it when they execute.
+        ctx = obs_trace.current_context()
         with self._lock:
             # A sentinel default tells a miss apart from a cached ``None``
             # result (a legitimate value that must still hit).
             cached = self.cache.get(digest, MISSING)
             if cached is not MISSING:
                 job = self.store.create(job_type, params, digest)
+                self._attach_trace(job, ctx)
                 job.mark_done(cached, cache_hit=True)
                 self._cache_hits += 1
+                _JOBS_TOTAL.inc(scenario=job_type, event="submitted")
+                _JOBS_TOTAL.inc(scenario=job_type, event="cache_hit")
+                # Even a born-done job leaves a span, so its trace shows the
+                # cache hit instead of a hole.
+                self._start_job_span(job).finish()
                 self._record_submit(job)
                 self._record_finish(job)
                 return job
@@ -156,16 +190,49 @@ class WorkerPool:
                 if existing is not None and not existing.state.finished:
                     existing.dedup_count += 1
                     self._dedup_hits += 1
+                    _JOBS_TOTAL.inc(scenario=job_type, event="dedup_hit")
                     return existing
             if self.max_queued is not None and len(self._inflight) >= self.max_queued:
                 self._rejected += 1
+                _JOBS_TOTAL.inc(scenario=job_type, event="rejected")
                 raise QueueFullError(self.max_queued)
             job = self.store.create(job_type, params, digest)
-            self._inflight[digest] = job.job_id
+            self._attach_trace(job, ctx)
+            self._enqueue_inflight(job)
             self._submitted += 1
+            _JOBS_TOTAL.inc(scenario=job_type, event="submitted")
         self._record_submit(job)
         self._dispatch(job)
         return job
+
+    def _attach_trace(self, job: Job, ctx: obs_trace.TraceContext | None) -> None:
+        """Give every job a trace identity: joined or freshly minted."""
+        if ctx is not None:
+            job.trace_id = ctx.trace_id
+            job.parent_span_id = ctx.span_id
+        else:
+            job.trace_id = obs_trace.new_trace_id()
+
+    def _start_job_span(self, job: Job) -> obs_trace.Span:
+        """Open the job's ``job.run`` span inside its own trace."""
+        return obs_trace.Span(
+            name="job.run",
+            trace_id=job.trace_id or obs_trace.new_trace_id(),
+            parent_id=job.parent_span_id,
+            attrs={
+                "job_id": job.job_id,
+                "scenario": job.job_type,
+                "cache_hit": job.cache_hit,
+                "worker_kind": "process" if self.use_processes else "thread",
+                "worker": threading.current_thread().name,
+            },
+        )
+
+    def _enqueue_inflight(self, job: Job) -> None:
+        """Track an accepted job; the depth gauge follows ``len(_inflight)``."""
+        if job.digest not in self._inflight:
+            _QUEUE_DEPTH.inc()
+        self._inflight[job.digest] = job.job_id
 
     def run(self, job_type: str, params: dict | None = None, timeout: float | None = None) -> Job:
         """Submit and block until finished (convenience for CLI/tests)."""
@@ -182,6 +249,7 @@ class WorkerPool:
         digest: str,
         state: JobState | None = None,
         error: str | None = None,
+        trace_id: str | None = None,
     ) -> tuple[Job, bool]:
         """Re-create a pre-restart job under its historical id (journal replay).
 
@@ -189,10 +257,14 @@ class WorkerPool:
         cache without recomputing; FAILED/CANCELLED keep their terminal state;
         anything else — including a DONE job whose payload did not survive the
         restart — is re-enqueued for execution.  Backpressure does not apply:
-        these jobs were accepted before the restart.
+        these jobs were accepted before the restart.  ``trace_id`` (from the
+        journal's submit record) keeps the job's trace identity across the
+        restart; the parent span is gone with the old process.
         """
         with self._lock:
             job = self.store.restore(job_id, job_type, params, digest)
+        job.trace_id = trace_id or obs_trace.new_trace_id()
+        _JOBS_TOTAL.inc(scenario=job_type, event="restored")
         if state is JobState.FAILED:
             job.mark_failed(error or "failed before service restart")
             return job, False
@@ -212,7 +284,7 @@ class WorkerPool:
             return job, False
         # Unfinished (or completed but its payload is gone): run it again.
         with self._lock:
-            self._inflight[digest] = job.job_id
+            self._enqueue_inflight(job)
             self._submitted += 1
         self._dispatch(job)
         return job, True
@@ -246,8 +318,10 @@ class WorkerPool:
         with self._lock:
             if self._inflight.get(job.digest) == job.job_id:
                 del self._inflight[job.digest]
+                _QUEUE_DEPTH.dec()
             self._futures.pop(job_id, None)
             self._cancelled += 1
+        _JOBS_TOTAL.inc(scenario=job.job_type, event="cancelled")
         return job
 
     # ------------------------------------------------------------------ #
@@ -282,19 +356,36 @@ class WorkerPool:
         with self._lock:
             if self._inflight.get(job.digest) == job.job_id:
                 del self._inflight[job.digest]
+                _QUEUE_DEPTH.dec()
             self._futures.pop(job.job_id, None)
+
+    def _observe_finish(self, job: Job) -> None:
+        if job.run_seconds is not None:
+            _RUN_SECONDS.observe(job.run_seconds, scenario=job.job_type)
+        event = "done" if job.state is JobState.DONE else "failed"
+        _JOBS_TOTAL.inc(scenario=job.job_type, event=event)
 
     def _execute(self, job: Job) -> None:
         job.mark_running()
+        job.worker = threading.current_thread().name
+        if job.queue_seconds is not None:
+            _QUEUE_WAIT.observe(job.queue_seconds)
+        # The job's span is activated around the body, so codec/pipeline
+        # spans started inside nest under it and share the job's trace.
+        job_span = self._start_job_span(job)
         try:
-            result = self.registry.run(job.job_type, job.params)
+            with obs_trace.activate(job_span):
+                result = self.registry.run(job.job_type, job.params)
             # Store before marking done: once a client sees DONE, the cache
             # must already serve the digest.
             self.cache.put(job.digest, result)
             job.mark_done(result)
+            job_span.finish()
         except Exception:
             job.mark_failed(traceback.format_exc())
+            job_span.finish(error=job.error.strip().splitlines()[-1] if job.error else "failed")
         finally:
+            self._observe_finish(job)
             self._record_finish(job)
             self._cleanup(job)
 
@@ -304,14 +395,24 @@ class WorkerPool:
             # WorkerPool.cancel() owns the bookkeeping for this path (the
             # callback fires synchronously inside future.cancel()).
             return
+        job_span = self._start_job_span(job)
+        job.worker = "process-pool"
         try:
             run_seconds, result = future.result()
             job.backfill_running(run_seconds)
+            if job.queue_seconds is not None:
+                _QUEUE_WAIT.observe(job.queue_seconds)
             self.cache.put(job.digest, result)
             job.mark_done(result)
+            # The body ran in another process where this recorder does not
+            # exist; backfill the worker's own measurement.  Inner codec
+            # spans are a documented gap in process mode.
+            job_span.finish(duration=run_seconds)
         except Exception:
             job.mark_failed(traceback.format_exc())
+            job_span.finish(error=job.error.strip().splitlines()[-1] if job.error else "failed")
         finally:
+            self._observe_finish(job)
             self._record_finish(job)
             self._cleanup(job)
 
