@@ -99,13 +99,18 @@ class _Node:
     cooldown_until: float = 0.0
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "url": self.url,
             "alive": self.alive,
             "reason": self.reason,
             "submitted": self.submitted,
             "completed": self.completed,
         }
+        # Real ServiceClients carry a circuit breaker; test doubles may not.
+        breaker = getattr(self.client, "breaker", None)
+        if breaker is not None:
+            summary["breaker"] = breaker.stats()
+        return summary
 
 
 @dataclass
@@ -289,9 +294,16 @@ class CampaignDispatcher:
             if node is None:
                 cell_span.finish(error="no reachable node left")
                 raise DispatchError(self._dead_fleet_message())
+            # The spec's per-job budget rides along on every cell (only when
+            # set, so client doubles without the kwarg keep working).
+            submit_kwargs: dict = {}
+            if getattr(self.spec, "deadline_s", None) is not None:
+                submit_kwargs["deadline_s"] = self.spec.deadline_s
             try:
                 with obs_trace.activate(cell_span):
-                    record = node.client.submit(job.scenario, to_jsonable(job.params))
+                    record = node.client.submit(
+                        job.scenario, to_jsonable(job.params), **submit_kwargs
+                    )
             except ServiceUnavailable as error:
                 if error.saturated:
                     # A full queue (429 through every retry) is backpressure,
@@ -475,6 +487,7 @@ class CampaignDispatcher:
         queue = list(pending)
         outstanding: dict[str, _Cell] = {}  # digest -> in-flight cell
         executed = 0
+        idle_sleep = self.poll_interval
 
         while queue or outstanding:
             # Keep every node's window full (fast nodes pull more cells).
@@ -555,8 +568,13 @@ class CampaignDispatcher:
                     failed_grids.add(grid_name)
                     if cell.span is not None:
                         cell.span.finish(error=f"remote job {record['state']}")
-            if (queue or outstanding) and not progressed:
-                time.sleep(self.poll_interval)
+            if progressed:
+                idle_sleep = self.poll_interval
+            elif queue or outstanding:
+                # Sweeps that find nothing back off (capped at 1s) so a grid
+                # of slow cells is not polled at full tilt for minutes.
+                time.sleep(idle_sleep)
+                idle_sleep = min(idle_sleep * 1.5, 1.0)
         return executed
 
 

@@ -277,7 +277,13 @@ class CampaignRunner:
                         pending = pending[:budget_left]
                     # One grid is a barrier (its cells may be another grid's
                     # dependency); inside it, cells fan out across the pool.
-                    in_flight = [(job, pool.submit(job.scenario, job.params)) for job in pending]
+                    in_flight = [
+                        (job, pool.submit(
+                            job.scenario, job.params,
+                            deadline_s=self.spec.deadline_s,
+                        ))
+                        for job in pending
+                    ]
                     for job, pool_job in in_flight:
                         pool_job.wait()
                         if pool_job.state is JobState.FAILED:

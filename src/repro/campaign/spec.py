@@ -186,6 +186,9 @@ class CampaignSpec:
     description: str
     grids: tuple[CampaignGrid, ...]
     raw: dict = field(repr=False)
+    #: Optional per-job wall-clock budget: the dispatcher submits every cell
+    #: with this ``deadline_s``, so one wedged job cannot stall a campaign.
+    deadline_s: float | None = None
 
     def digest(self) -> str:
         """Stable digest of the canonicalized spec (the campaign identity)."""
@@ -215,11 +218,18 @@ class CampaignSpec:
             else:
                 entry["scenario"] = grid.scenario
             grids.append(entry)
-        return {
+        canonical: dict = {
             "name": self.name,
             "description": self.description,
             "grids": grids,
         }
+        # Only present when set, so the digests of every pre-deadline spec
+        # are unchanged — and a deadline does not change *what* is computed,
+        # but it bounds each attempt, which is execution policy worth pinning
+        # in the campaign identity the way shard layout is not.
+        if self.deadline_s is not None:
+            canonical["deadline_s"] = self.deadline_s
+        return canonical
 
 
 @dataclass(frozen=True)
@@ -400,8 +410,17 @@ def parse_spec(raw: Any) -> CampaignSpec:
         isinstance(grids_raw, list) and len(grids_raw) > 0,
         "spec needs a non-empty 'grids' list",
     )
-    unknown = set(raw) - {"name", "description", "grids"}
+    unknown = set(raw) - {"name", "description", "grids", "deadline_s"}
     _require(not unknown, f"unknown top-level field(s) {sorted(unknown)}")
+    deadline_s = raw.get("deadline_s")
+    if deadline_s is not None:
+        _require(
+            isinstance(deadline_s, (int, float))
+            and not isinstance(deadline_s, bool)
+            and deadline_s > 0,
+            "'deadline_s' must be a positive number of seconds",
+        )
+        deadline_s = float(deadline_s)
 
     grids = tuple(_parse_grid(entry, position) for position, entry in enumerate(grids_raw))
     names = [grid.name for grid in grids]
@@ -417,7 +436,13 @@ def parse_spec(raw: Any) -> CampaignSpec:
             grid.name not in grid.depends_on,
             f"grid {grid.name!r} depends on itself",
         )
-    spec = CampaignSpec(name=name, description=description, grids=grids, raw=dict(raw))
+    spec = CampaignSpec(
+        name=name,
+        description=description,
+        grids=grids,
+        raw=dict(raw),
+        deadline_s=deadline_s,
+    )
     _topological_order(spec.grids)  # raises on cycles
     return spec
 

@@ -1,0 +1,44 @@
+"""repro.chaos — stdlib fault injection for the service and dispatch layers.
+
+Two complementary pieces:
+
+* :mod:`repro.chaos.plan` — in-process fault plans.  Production seams call
+  :func:`maybe_fail` under a stable injection-point name (``journal.append``,
+  ``worker.run``, ``client.request``, ``server.request``,
+  ``cache.disk_write``); an installed :class:`FaultPlan` (or one loaded from
+  the ``REPRO_CHAOS`` environment variable) turns those call sites into
+  probabilistic latency/exception injectors, deterministically seeded.
+* :mod:`repro.chaos.proxy` — :class:`ChaosProxy`, a TCP proxy in front of a
+  ``repro serve`` node injecting wire-level faults: connection resets,
+  response truncation, added latency, and forced 5xx/429.
+
+``repro chaos`` on the command line lists injection points, validates plan
+specs, and runs a proxy.  The point of both is falsifiable robustness: the
+hardened failure semantics (deadlines, circuit breaking, journal quarantine,
+graceful shutdown) are tested by provoking the failures on demand, not by
+hand-rolled doubles.
+"""
+
+from .plan import (
+    INJECTION_POINTS,
+    ChaosSpecError,
+    FaultPlan,
+    FaultRule,
+    clear_plan,
+    get_plan,
+    install_plan,
+    maybe_fail,
+)
+from .proxy import ChaosProxy
+
+__all__ = [
+    "INJECTION_POINTS",
+    "ChaosProxy",
+    "ChaosSpecError",
+    "FaultPlan",
+    "FaultRule",
+    "clear_plan",
+    "get_plan",
+    "install_plan",
+    "maybe_fail",
+]

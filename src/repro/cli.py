@@ -25,6 +25,14 @@ Examples::
     python -m repro.cli obs metrics --url http://localhost:8000
     python -m repro.cli obs trace job-000001 --url http://localhost:8000
     python -m repro.cli obs summary runs/pruning-grid-0123456789ab
+    python -m repro.cli chaos points
+    python -m repro.cli chaos plan '{"rules": [{"point": "journal.append", "probability": 0.2}]}'
+    python -m repro.cli chaos proxy --upstream-port 8000 --port 8001 --reset-p 0.05
+    python -m repro.cli journal compact runs/journal-dir
+
+``repro serve`` shuts down gracefully on SIGTERM/SIGINT: it stops accepting
+requests, drains running jobs, leaves queued jobs journaled for the next
+start, and exits 0.  A second signal aborts immediately.
 """
 
 from __future__ import annotations
@@ -301,6 +309,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     obs_summary.add_argument("run_dir", help="campaign run directory (with checkpoints)")
     obs_summary.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="fault injection: list points, validate plans, run a proxy"
+    )
+    chaos_sub = chaos_parser.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_points = chaos_sub.add_parser(
+        "points", help="list the named injection points a plan can target"
+    )
+    chaos_points.add_argument("--json", action="store_true", help="emit JSON")
+
+    chaos_plan = chaos_sub.add_parser(
+        "plan",
+        help="validate a chaos plan spec (inline JSON, @file, or a file path) "
+        "— the same format the REPRO_CHAOS environment variable takes",
+    )
+    chaos_plan.add_argument("spec", help="plan spec: inline JSON, @path, or path")
+    chaos_plan.add_argument("--json", action="store_true", help="emit the parsed rules as JSON")
+
+    chaos_proxy = chaos_sub.add_parser(
+        "proxy",
+        help="run a fault-injecting TCP proxy in front of a `repro serve` node",
+    )
+    chaos_proxy.add_argument("--upstream-port", type=int, required=True)
+    chaos_proxy.add_argument("--upstream-host", default="127.0.0.1")
+    chaos_proxy.add_argument("--host", default="127.0.0.1", help="listen host")
+    chaos_proxy.add_argument("--port", type=int, default=0, help="listen port (0 = ephemeral)")
+    chaos_proxy.add_argument("--reset-p", type=float, default=0.0, help="P(connection reset)")
+    chaos_proxy.add_argument("--latency-p", type=float, default=0.0, help="P(added latency)")
+    chaos_proxy.add_argument("--latency-s", type=float, default=0.05, help="latency to add (s)")
+    chaos_proxy.add_argument("--error-p", type=float, default=0.0, help="P(forced error status)")
+    chaos_proxy.add_argument(
+        "--error-status", type=int, default=503, help="status for forced errors (429/5xx)"
+    )
+    chaos_proxy.add_argument("--truncate-p", type=float, default=0.0, help="P(truncated response)")
+    chaos_proxy.add_argument("--seed", type=int, default=0, help="fault-roll RNG seed")
+
+    journal_parser = subparsers.add_parser(
+        "journal", help="job-journal maintenance (compaction)"
+    )
+    journal_sub = journal_parser.add_subparsers(dest="journal_command", required=True)
+    journal_compact = journal_sub.add_parser(
+        "compact",
+        help="snapshot+truncate DIR/journal.jsonl: one submit (+ finish) line "
+        "per job, oldest finished jobs beyond --keep-finished dropped",
+    )
+    journal_compact.add_argument("dir", help="journal directory (as given to serve --journal)")
+    journal_compact.add_argument(
+        "--keep-finished",
+        type=int,
+        default=None,
+        metavar="N",
+        help="finished jobs to keep (default: the job store's history bound)",
+    )
+    journal_compact.add_argument("--json", action="store_true", help="emit the stats as JSON")
     return parser
 
 
@@ -321,6 +384,11 @@ def _run_single(name: str, args: argparse.Namespace) -> int:
 
 
 def _serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from .chaos.plan import get_plan
     from .service.server import create_server
 
     server = create_server(
@@ -334,6 +402,28 @@ def _serve(args: argparse.Namespace) -> int:
         max_queued=args.max_queued,
         journal_dir=args.journal,
     )
+    # Graceful shutdown: the first SIGTERM/SIGINT unblocks serve_forever and
+    # lets the drain below run; a second signal means "now" and aborts.
+    # server.shutdown() must not be called on the thread inside
+    # serve_forever() (it joins that loop — deadlock), and a signal handler
+    # runs precisely there, so the handler hands it to a helper thread.
+    # Installed before the "listening" banner: anything supervising this
+    # process treats that line as "ready to signal".
+    signals_seen = {"count": 0}
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal API
+        signals_seen["count"] += 1
+        if signals_seen["count"] > 1:
+            os._exit(1)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    graceful = True
+    for signame in ("SIGTERM", "SIGINT"):
+        try:
+            signal.signal(getattr(signal, signame), _on_signal)
+        except (ValueError, OSError, AttributeError):
+            graceful = False  # non-main thread or exotic platform
+
     host, port = server.server_address[0], server.port
     worker_kind = "processes" if args.processes else "threads"
     print(f"repro service listening on http://{host}:{port}")
@@ -343,20 +433,138 @@ def _serve(args: argparse.Namespace) -> int:
         print(
             f"  journal: {server.journal.path} "
             f"(replayed {replay.get('replayed', 0)} job(s), "
-            f"{replay.get('completed', 0)} done, {replay.get('requeued', 0)} requeued)"
+            f"{replay.get('completed', 0)} done, {replay.get('requeued', 0)} requeued, "
+            f"{replay.get('quarantined', 0)} corrupt line(s) quarantined)"
         )
     if args.max_queued is not None:
         print(f"  backpressure: 429 beyond {args.max_queued} unfinished job(s)")
+    chaos_plan = get_plan()
+    if chaos_plan is not None:
+        print(f"  chaos: REPRO_CHAOS active with {len(chaos_plan.rules)} rule(s)")
     print(
         "  endpoints: /v1/health /v1/scenarios /v1/codecs /v1/compress /v1/jobs "
-        "/v1/cache/stats /v1/metrics  (Ctrl-C to stop)"
+        "/v1/cache/stats /v1/metrics  (Ctrl-C / SIGTERM for graceful shutdown)"
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        graceful = False
+    finally:
+        if graceful:
+            print("shutting down: draining running jobs ...")
+            drain = server.graceful_close()
+            requeue_note = (
+                " (journaled; they re-run on next start)"
+                if drain["journaled"] and drain["requeued"]
+                else ""
+            )
+            print(
+                f"shutdown complete: {drain['drained']} job(s) drained, "
+                f"{drain['requeued']} requeued{requeue_note}"
+            )
+        else:
+            server.close(wait=False)
+    return 0
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    from .chaos import ChaosProxy, ChaosSpecError, FaultPlan, INJECTION_POINTS
+
+    if args.chaos_command == "points":
+        if args.json:
+            print(json.dumps(INJECTION_POINTS, indent=2, sort_keys=True))
+            return 0
+        print("chaos injection points (target with REPRO_CHAOS or `repro chaos plan`):")
+        width = max(len(name) for name in INJECTION_POINTS)
+        for name in sorted(INJECTION_POINTS):
+            print(f"  {name:<{width}}  {INJECTION_POINTS[name]}")
+        return 0
+
+    if args.chaos_command == "plan":
+        try:
+            plan = FaultPlan.from_text(args.spec)
+        except ChaosSpecError as error:
+            print(f"error: invalid chaos plan: {error}", file=sys.stderr)
+            return 1
+        rules = [rule.to_dict() for rule in plan.rules]
+        if args.json:
+            print(json.dumps({"seed": plan.seed, "rules": rules}, indent=2, sort_keys=True))
+        else:
+            print(f"valid chaos plan: {len(rules)} rule(s), seed {plan.seed}")
+            for rule in rules:
+                print(f"  {json.dumps(rule, sort_keys=True)}")
+        return 0
+
+    # proxy
+    try:
+        proxy = ChaosProxy(
+            upstream_port=args.upstream_port,
+            upstream_host=args.upstream_host,
+            listen_host=args.host,
+            listen_port=args.port,
+            reset_p=args.reset_p,
+            latency_s=args.latency_s,
+            latency_p=args.latency_p,
+            error_p=args.error_p,
+            error_status=args.error_status,
+            truncate_p=args.truncate_p,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    proxy.start()
+    print(
+        f"chaos proxy on {proxy.url} -> "
+        f"http://{args.upstream_host}:{args.upstream_port}  (Ctrl-C to stop)"
+    )
+    print(
+        f"  reset_p={args.reset_p} latency={args.latency_p}@{args.latency_s}s "
+        f"error_p={args.error_p}(HTTP {args.error_status}) "
+        f"truncate_p={args.truncate_p} seed={args.seed}"
+    )
+    try:
+        import time as _time
+
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
         pass
     finally:
-        server.close(wait=False)
+        proxy.stop()
+        print(f"proxy fault counts: {json.dumps(proxy.stats()['counts'], sort_keys=True)}")
+    return 0
+
+
+def _journal(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service.journal import DEFAULT_KEEP_FINISHED, JobJournal
+
+    directory = Path(args.dir)
+    if not (directory / "journal.jsonl").exists():
+        print(f"error: no journal at {directory / 'journal.jsonl'}", file=sys.stderr)
+        return 1
+    keep = args.keep_finished if args.keep_finished is not None else DEFAULT_KEEP_FINISHED
+    journal = JobJournal(directory)
+    try:
+        stats = journal.compact(keep_finished=keep)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        journal.close()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"compacted {journal.path}: {stats['bytes_before']} -> "
+        f"{stats['bytes_after']} bytes"
+    )
+    print(
+        f"  {stats['kept_jobs']} job(s) kept, {stats['dropped_finished']} old "
+        f"finished job(s) dropped, {stats['quarantined']} corrupt line(s) quarantined"
+    )
     return 0
 
 
@@ -684,6 +892,8 @@ def main(argv: list[str] | None = None) -> int:
         print("  campaign (run/resume/report/dispatch declarative campaign specs)")
         print("  codec (run/list composable compression codecs)")
         print("  obs (metrics/trace/summary observability surfaces)")
+        print("  chaos (fault-injection plans and the chaos HTTP proxy)")
+        print("  journal (inspect/compact a service job journal)")
         return 0
 
     if args.command == "ablations":
@@ -715,6 +925,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "obs":
         return _obs(args)
+
+    if args.command == "chaos":
+        return _chaos(args)
+
+    if args.command == "journal":
+        return _journal(args)
 
     return _run_single(args.command, args)
 

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
+from ..chaos.plan import maybe_fail
 from ..obs.metrics import get_metrics
 
 __all__ = ["MISSING", "CacheStats", "ResultCache"]
@@ -182,6 +183,7 @@ class ResultCache:
         return self._directory / f"{key}.json"
 
     def _write_to_disk(self, key: str, value: Any) -> None:
+        maybe_fail("cache.disk_write")
         path = self._path(key)
         # Unique tmp file per writer: concurrent stores of the same key must
         # not interleave into one tmp file before the atomic rename.

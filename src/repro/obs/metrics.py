@@ -410,6 +410,27 @@ def declare_standard_families(registry: MetricsRegistry) -> None:
         "repro_journal_write_errors_total",
         "Journal lines lost to write errors (full disk, unserializable params).",
     )
+    registry.counter(
+        "repro_journal_quarantined_total",
+        "Corrupt journal lines moved to journal.quarantine.jsonl, by reason.",
+        ("reason",),
+    )
+    registry.counter(
+        "repro_chaos_injections_total",
+        "Faults injected by the active chaos plan, by injection point and mode.",
+        ("point", "mode"),
+    )
+    registry.counter(
+        "repro_chaos_proxy_faults_total",
+        "Wire-level faults injected by ChaosProxy, by kind "
+        "(forwarded, reset, error, latency, truncated).",
+        ("kind",),
+    )
+    registry.counter(
+        "repro_breaker_transitions_total",
+        "ServiceClient circuit-breaker state transitions, by new state.",
+        ("state",),
+    )
     registry.histogram(
         "repro_codec_compress_seconds",
         "Codec compress latency per codec (pipelines report as 'pipeline').",

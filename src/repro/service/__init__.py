@@ -10,14 +10,18 @@ Turns the batch CLI into a servable system (``python -m repro.cli serve``):
 * :mod:`repro.service.registry` — named, parameterized job types: every
   paper experiment plus ad-hoc compression/simulation jobs.
 * :mod:`repro.service.workers` — thread pool executing jobs with caching,
-  in-flight deduplication, cancellation, and queue backpressure.
+  in-flight deduplication, cancellation, per-job deadlines, and queue
+  backpressure.
 * :mod:`repro.service.server` — pure-stdlib HTTP/JSON API.
-* :mod:`repro.service.client` — stdlib HTTP client with retries/backoff and
-  typed errors (the substrate of federated campaign dispatch).
+* :mod:`repro.service.client` — stdlib HTTP client with retries/backoff,
+  per-node circuit breaking, and typed errors (the substrate of federated
+  campaign dispatch).
 """
 
 from .cache import MISSING, CacheStats, ResultCache
 from .client import (
+    CircuitBreaker,
+    CircuitBreakerOpen,
     JobFailedError,
     ServiceClient,
     ServiceError,
@@ -28,12 +32,14 @@ from .jobs import Job, JobState, JobStore
 from .journal import JobJournal
 from .registry import JobType, ScenarioRegistry, build_default_registry
 from .server import API_VERSION, V1_ROUTES, ReproServer, create_server
-from .workers import QueueFullError, WorkerPool, job_digest
+from .workers import QueueFullError, WorkerPool, job_cancelled, job_digest
 
 __all__ = [
     "API_VERSION",
     "MISSING",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitBreakerOpen",
     "Job",
     "JobFailedError",
     "JobJournal",
@@ -52,5 +58,6 @@ __all__ = [
     "WorkerPool",
     "build_default_registry",
     "create_server",
+    "job_cancelled",
     "job_digest",
 ]

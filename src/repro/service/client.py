@@ -11,7 +11,13 @@ taxonomy:
   refused/reset, timeout), kept answering 5xx, or stayed saturated (429)
   through every retry.  Transient failures are retried with exponential
   backoff before this is raised, so one dropped packet does not kill a
-  campaign dispatch.
+  campaign dispatch.  A 429/503 carrying a ``Retry-After`` hint (header or
+  ``retry_after`` body field) overrides the backoff for the next attempt —
+  the server knows its own queue better than a blind exponential does.
+* :class:`CircuitBreakerOpen` — a :class:`ServiceUnavailable` raised without
+  touching the network: this client's circuit breaker is open after too many
+  consecutive failures, and calls fail fast until the reset timeout lets a
+  half-open probe through.
 * :class:`JobFailedError` — raised only by the synchronous conveniences
   (:meth:`ServiceClient.run_job`) when the remote job itself failed; carries
   the job record with the remote traceback.
@@ -22,16 +28,22 @@ this client; ``examples/service_client.py`` shows interactive use.
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import threading
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Callable
 
+from ..chaos.plan import maybe_fail
 from ..obs import trace as obs_trace
 from ..obs.metrics import get_metrics
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitBreakerOpen",
     "JobFailedError",
     "ServiceClient",
     "ServiceError",
@@ -70,6 +82,22 @@ class ServiceUnavailable(ServiceError):
         super().__init__(f"{url}: unreachable after {attempts} attempt(s): {cause}")
 
 
+class CircuitBreakerOpen(ServiceUnavailable):
+    """Fail-fast: the breaker is open, no request was attempted.
+
+    Subclasses :class:`ServiceUnavailable` so existing callers (the campaign
+    dispatcher's node-loss handling above all) treat a breaker-protected node
+    exactly like an unreachable one — without paying connection timeouts to
+    find out again.
+    """
+
+    def __init__(self, url: str, retry_in: float):
+        self.retry_in = retry_in
+        super().__init__(
+            url, 0, f"circuit breaker open (half-open probe in {retry_in:.1f}s)"
+        )
+
+
 class JobFailedError(ServiceError):
     """A synchronously awaited remote job finished FAILED."""
 
@@ -87,6 +115,11 @@ _RETRIES_TOTAL = get_metrics().counter(
     "ServiceClient retry attempts, by cause.",
     ("reason",),
 )
+_BREAKER_TRANSITIONS = get_metrics().counter(
+    "repro_breaker_transitions_total",
+    "ServiceClient circuit-breaker state transitions, by new state.",
+    ("state",),
+)
 
 
 def _retry_reason(cause: str) -> str:
@@ -100,12 +133,115 @@ def _retry_reason(cause: str) -> str:
     return "network"
 
 
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open).
+
+    Closed is the happy path.  ``failure_threshold`` consecutive recorded
+    failures open the breaker: :meth:`allow` answers ``False`` (callers fail
+    fast) until ``reset_timeout`` seconds pass, after which exactly one probe
+    request is let through half-open.  A successful probe closes the breaker;
+    a failed one re-opens it for another full timeout.
+
+    What counts: network-level faults and HTTP 5xx are failures; *any* HTTP
+    response below 500 — including 429 saturation and 4xx rejections — is a
+    success, because the node answered.  A breaker guards against dead or
+    broken nodes, not busy ones (saturation already has its own channel:
+    ``ServiceUnavailable(saturated=True)`` and ``Retry-After``).
+
+    Thread-safe; ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.transitions: dict[str, int] = {}
+        self._opened_at: float | None = None
+        self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a request go out right now?  (May move open → half-open.)"""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open":
+                if self._clock() - (self._opened_at or 0.0) >= self.reset_timeout:
+                    self._transition("half-open")
+                    self._probe_inflight = True
+                    return True
+                return False
+            # half-open: one probe owns the slot until it reports back.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.consecutive_failures = 0
+            self._probe_inflight = False
+            if self.state != "closed":
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_inflight = False
+            if self.state == "half-open":
+                self._open()
+                return
+            self.consecutive_failures += 1
+            if self.state == "closed" and self.consecutive_failures >= self.failure_threshold:
+                self._open()
+
+    def retry_in(self) -> float:
+        """Seconds until an open breaker lets the next probe through."""
+        with self._lock:
+            if self.state != "open" or self._opened_at is None:
+                return 0.0
+            return max(self.reset_timeout - (self._clock() - self._opened_at), 0.0)
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self.consecutive_failures = 0
+        self._transition("open")
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.transitions[state] = self.transitions.get(state, 0) + 1
+        _BREAKER_TRANSITIONS.inc(state=state)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "transitions": dict(self.transitions),
+            }
+
+
 class ServiceClient:
     """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8000")``.
 
     ``retries`` counts *additional* attempts after the first; the delay
-    before retry ``n`` is ``backoff * 2**n`` seconds.  ``sleep`` is
+    before retry ``n`` is ``backoff * 2**n`` seconds, unless the previous
+    answer carried a ``Retry-After`` hint, which wins.  ``sleep`` is
     injectable so tests (and pollers with their own pacing) stay fast.
+
+    Every client owns a :class:`CircuitBreaker` (pass ``breaker=`` to share
+    or tune one); when it is open, :meth:`request` raises
+    :class:`CircuitBreakerOpen` without touching the network.
 
     The convenience methods talk to the versioned ``/v1`` API;
     ``api_prefix=""`` pins a client to the deprecated legacy paths (for
@@ -121,6 +257,7 @@ class ServiceClient:
         backoff: float = 0.2,
         sleep: Callable[[float], None] = time.sleep,
         api_prefix: str = "/v1",
+        breaker: CircuitBreaker | None = None,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -130,6 +267,7 @@ class ServiceClient:
         self.backoff = backoff
         self.api_prefix = api_prefix.rstrip("/")
         self._sleep = sleep
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._scenario_defaults: dict[str, dict] | None = None
         #: Per-instance retry tally (reason -> count), mirrored into the
         #: process-wide ``repro_client_retries_total`` family; the campaign
@@ -153,6 +291,8 @@ class ServiceClient:
         cause, on this instance and in the metrics registry.
         """
         url = self.base_url + path
+        if not self.breaker.allow():
+            raise CircuitBreakerOpen(url, self.breaker.retry_in())
         data = None
         headers = {}
         if payload is not None:
@@ -162,30 +302,55 @@ class ServiceClient:
         if ctx is not None:
             headers[obs_trace.TRACE_HEADER] = obs_trace.format_traceparent(ctx)
         last_cause = "no attempt made"
+        retry_hint: float | None = None
         attempts = self.retries + 1
         for attempt in range(attempts):
             if attempt:
-                self._sleep(self.backoff * (2 ** (attempt - 1)))
+                if retry_hint is not None:
+                    self._sleep(retry_hint)
+                    retry_hint = None
+                else:
+                    self._sleep(self.backoff * (2 ** (attempt - 1)))
             try:
+                maybe_fail("client.request")
                 request = urllib.request.Request(url, data=data, headers=headers, method=method)
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                    return json.loads(response.read())
+                    body = json.loads(response.read())
+                self.breaker.record_success()
+                return body
             except urllib.error.HTTPError as error:
                 status = error.code
                 try:
                     body = json.loads(error.read())
                 except (json.JSONDecodeError, OSError):
                     body = None
+                if status >= 500:
+                    self.breaker.record_failure()
+                else:
+                    # The node answered — alive, even if busy or refusing.
+                    self.breaker.record_success()
                 if status in _RETRYABLE_STATUSES:
                     last_cause = f"HTTP {status}"
+                    retry_hint = _retry_after_hint(error, body)
                     self._count_retry(last_cause, attempt, attempts)
                     continue
                 raise ServiceRequestError(status, body, url) from None
-            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                ConnectionError,
+                TimeoutError,
+                OSError,
+            ) as error:
+                # http.client.HTTPException covers mid-response faults the
+                # URLError wrapper misses — above all IncompleteRead, what a
+                # truncated (chaos-proxied or crashed) peer produces.
+                self.breaker.record_failure()
                 last_cause = str(getattr(error, "reason", None) or error)
                 self._count_retry(last_cause, attempt, attempts)
                 continue
             except json.JSONDecodeError as error:
+                self.breaker.record_failure()
                 last_cause = f"non-JSON response: {error}"
                 self._count_retry(last_cause, attempt, attempts)
                 continue
@@ -243,7 +408,13 @@ class ServiceClient:
                 return response.read().decode("utf-8")
         except urllib.error.HTTPError as error:
             raise ServiceRequestError(error.code, None, url) from None
-        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+            OSError,
+        ) as error:
             cause = str(getattr(error, "reason", None) or error)
             raise ServiceUnavailable(url, 1, cause) from None
 
@@ -252,10 +423,17 @@ class ServiceClient:
         return self.request("GET", self._path(f"/jobs/{job_id}/trace"))
 
     def submit(self, job_type: str, params: dict | None = None,
-               wait: float | None = None) -> dict:
-        """Submit a job; returns its record (with result if done and waited)."""
+               wait: float | None = None, deadline_s: float | None = None) -> dict:
+        """Submit a job; returns its record (with result if done and waited).
+
+        ``deadline_s`` is the job's wall-clock budget on the server: a job
+        that has not finished when it expires becomes ``FAILED: deadline``.
+        """
         path = self._path("/jobs" if wait is None else f"/jobs?wait={wait}")
-        return self.request("POST", path, {"type": job_type, "params": params or {}})
+        body: dict = {"type": job_type, "params": params or {}}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self.request("POST", path, body)
 
     def submit_campaign(self, spec: dict, jobs: int = 1, wait: float | None = None) -> dict:
         path = self._path("/campaign" if wait is None else f"/campaign?wait={wait}")
@@ -350,24 +528,59 @@ class ServiceClient:
         params: dict | None = None,
         poll_interval: float = 0.05,
         timeout: float | None = None,
+        deadline_s: float | None = None,
+        poll_cap: float = 2.0,
     ) -> Any:
         """Submit, wait for completion, and return the result payload.
+
+        Polling backs off exponentially with jitter — starting at
+        ``poll_interval``, growing 1.7x per poll, capped at ``poll_cap``
+        seconds, each sleep jittered by a uniform 0.5–1.5x factor — so a
+        thousand concurrent pollers neither hammer the node at a fixed
+        cadence nor synchronize into thundering herds.
 
         Raises :class:`JobFailedError` if the remote job fails and
         ``TimeoutError`` if it does not finish in ``timeout`` seconds.
         """
-        record = self.submit(job_type, params, wait=0)
+        record = self.submit(job_type, params, wait=0, deadline_s=deadline_s)
         deadline = None if timeout is None else time.monotonic() + timeout
+        delay = poll_interval
         while not _finished(record["state"]):
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(
                     f"job {record['job_id']} did not finish in {timeout}s"
                 )
-            self._sleep(poll_interval)
+            self._sleep(delay * random.uniform(0.5, 1.5))
+            delay = min(delay * 1.7, poll_cap)
             record = self.job(record["job_id"])
         if record["state"] != "done":
             raise JobFailedError(record)
         return self.result(record["job_id"])["result"]
+
+
+def _retry_after_hint(error: urllib.error.HTTPError, body: dict | None) -> float | None:
+    """Extract the server's retry hint from a 429/503 answer, if any.
+
+    The JSON body's ``retry_after`` (float seconds) is preferred over the
+    coarser integer ``Retry-After`` header.  Hints are clamped to [0, 30] —
+    a misbehaving (or chaos-injected) server must not park a client for an
+    hour.
+    """
+    hint: float | None = None
+    if isinstance(body, dict):
+        value = body.get("retry_after")
+        if isinstance(value, (int, float)) and not isinstance(value, bool) and value >= 0:
+            hint = float(value)
+    if hint is None:
+        header = error.headers.get("Retry-After") if error.headers else None
+        if header is not None:
+            try:
+                hint = float(header)
+            except ValueError:
+                hint = None
+    if hint is None or hint < 0:
+        return None
+    return min(hint, 30.0)
 
 
 def _finished(state: str) -> bool:

@@ -59,10 +59,22 @@ class Job:
     parent_span_id: str | None = None
     #: Which worker executed the job (thread name, or "process-pool").
     worker: str | None = None
+    #: Wall-clock budget from submission; expired jobs become
+    #: ``FAILED: deadline`` (enforced by the worker pool's deadline timers).
+    deadline_s: float | None = None
+    #: Set when the job is cancelled or its deadline expires; long-running
+    #: cooperative job bodies poll it (``repro.service.workers.job_cancelled``)
+    #: to stop early instead of computing a result nobody will read.
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
     _submitted_pc: float = field(default_factory=time.perf_counter, repr=False, compare=False)
     _started_pc: float | None = field(default=None, repr=False, compare=False)
     _done_event: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
+    )
+    _transition_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
     )
 
     # ------------------------------------------------------------------ #
@@ -90,20 +102,39 @@ class Job:
         self.started_at = time.time() - run_seconds
         self.queue_seconds = max(self._started_pc - self._submitted_pc, 0.0)
 
-    def mark_done(self, result: Any, cache_hit: bool = False) -> None:
-        self.result = result
-        self.cache_hit = cache_hit
-        self._finish(JobState.DONE)
+    def mark_done(self, result: Any, cache_hit: bool = False) -> bool:
+        with self._transition_lock:
+            if self.state.finished:
+                return False
+            self.result = result
+            self.cache_hit = cache_hit
+            self._finish(JobState.DONE)
+        return True
 
-    def mark_failed(self, error: str) -> None:
-        self.error = error
-        self._finish(JobState.FAILED)
+    def mark_failed(self, error: str) -> bool:
+        with self._transition_lock:
+            if self.state.finished:
+                return False
+            self.error = error
+            self._finish(JobState.FAILED)
+        return True
 
-    def mark_cancelled(self, reason: str = "cancelled by client") -> None:
-        self.error = reason
-        self._finish(JobState.CANCELLED)
+    def mark_cancelled(self, reason: str = "cancelled by client") -> bool:
+        with self._transition_lock:
+            if self.state.finished:
+                return False
+            self.error = reason
+            self._finish(JobState.CANCELLED)
+        self.cancel_event.set()
+        return True
 
     def _finish(self, state: JobState) -> None:
+        """Terminal transition; callers hold ``_transition_lock``.
+
+        Transitions are first-wins: a deadline timer and a worker completing
+        the same job race, and exactly one of them may land the terminal
+        state (the ``mark_*`` methods return whether *this* call did).
+        """
         now_pc = time.perf_counter()
         self.state = state
         self.finished_at = time.time()
@@ -140,6 +171,7 @@ class Job:
             "dedup_count": self.dedup_count,
             "trace_id": self.trace_id,
             "worker": self.worker,
+            "deadline_s": self.deadline_s,
             "error": self.error,
         }
         if include_result:

@@ -61,6 +61,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from ..chaos.plan import maybe_fail
 from ..obs import trace as obs_trace
 from ..obs.metrics import get_metrics
 from ..obs.trace import TraceLog
@@ -138,6 +139,16 @@ def _route_label(method: str, parts: list[str]) -> str:
     return "unrouted"
 
 
+def _parse_deadline(body: dict) -> float | None:
+    """Validate an optional ``deadline_s`` submission field (seconds > 0)."""
+    value = body.get("deadline_s")
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or not value > 0:
+        raise ValueError('"deadline_s" must be a positive number of seconds')
+    return float(value)
+
+
 class _HTTPError(Exception):
     """A client error the handler turns into a JSON error response.
 
@@ -166,18 +177,30 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
-        self._send_body(status, body, "application/json; charset=utf-8")
+        self._send_body(
+            status, body, "application/json; charset=utf-8", extra_headers
+        )
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         self._send_body(status, text.encode("utf-8"), content_type)
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         self._observed_status = status  # feeds the request metrics/span
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         successor = getattr(self, "_successor_path", None)
         if successor is not None:
             # Served from a legacy unprefixed path: identical payload, but
@@ -281,13 +304,27 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch_route(self, route) -> None:
         try:
+            maybe_fail("server.request")
             route()
         except _HTTPError as error:
             if error.close:
                 self.close_connection = True
             self._send_json(error.status, {"error": error.message})
         except QueueFullError as error:
-            self._send_json(429, {"error": str(error), "max_queued": error.limit})
+            # The Retry-After header is the integer-ceiled form of the pool's
+            # hint (the header grammar wants whole seconds); the JSON body
+            # carries the precise float for clients that parse it.
+            self._send_json(
+                429,
+                {
+                    "error": str(error),
+                    "max_queued": error.limit,
+                    "retry_after": error.retry_after,
+                },
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after)))
+                },
+            )
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True  # client went away; nothing to send
         except Exception as error:  # noqa: BLE001 - last-resort envelope
@@ -438,10 +475,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     params = {}
                 if not isinstance(params, dict):
                     raise ValueError('"params" must be a JSON object')
-                unknown = set(body) - {"type", "params"}
+                unknown = set(body) - {"type", "params", "deadline_s"}
                 if unknown:
                     raise ValueError(f"unknown field(s) {sorted(unknown)}")
-                job = self.server.pool.submit(job_type, params)
+                job = self.server.pool.submit(
+                    job_type, params, deadline_s=_parse_deadline(body)
+                )
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
             return
@@ -514,11 +553,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
         """
         from ..campaign import CampaignSpecError, expand_spec, parse_spec
 
+        deadline_s = None
         if "spec" in body:
             spec, jobs = body.get("spec"), body.get("jobs", 1)
-            unknown = set(body) - {"spec", "jobs"}
+            unknown = set(body) - {"spec", "jobs", "deadline_s"}
             if unknown:
                 raise ValueError(f"unknown campaign field(s) {sorted(unknown)}")
+            deadline_s = _parse_deadline(body)
         else:
             spec, jobs = body, 1
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
@@ -527,7 +568,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
             expand_spec(parse_spec(spec), registry=self.server.pool.registry)
         except CampaignSpecError as error:
             raise ValueError(f"invalid campaign spec: {error}") from None
-        return self.server.pool.submit("campaign", {"spec": spec, "jobs": jobs})
+        return self.server.pool.submit(
+            "campaign", {"spec": spec, "jobs": jobs}, deadline_s=deadline_s
+        )
 
     def _submit_compress(self, body: dict):
         """Validate and enqueue one ``POST /v1/compress`` request.
@@ -541,7 +584,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         """
         from .. import codecs
 
-        allowed = {"codec", "params", "stages", *codecs.TENSOR_SOURCE_PARAMS}
+        allowed = {"codec", "params", "stages", "deadline_s", *codecs.TENSOR_SOURCE_PARAMS}
+        deadline_s = _parse_deadline(body)
+        body = {key: value for key, value in body.items() if key != "deadline_s"}
         unknown = set(body) - allowed
         if unknown:
             raise ValueError(f"unknown compress field(s) {sorted(unknown)}")
@@ -582,7 +627,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         for key in codecs.TENSOR_SOURCE_PARAMS:
             if key in body:
                 submission[key] = body[key]
-        return self.server.pool.submit("codec_compress", submission)
+        return self.server.pool.submit(
+            "codec_compress", submission, deadline_s=deadline_s
+        )
 
     @staticmethod
     def _parse_wait(query_string: str) -> float | None:
@@ -656,6 +703,34 @@ class ReproServer(ThreadingHTTPServer):
             self.journal.close()
         if self.trace_log is not None:
             self.recorder.remove_sink(self.trace_log)
+
+    def graceful_close(self) -> dict:
+        """SIGTERM path: drain what is running, requeue-by-journal the rest.
+
+        Stops accepting new connections, lets already-running jobs finish,
+        cancels still-queued futures (those jobs stay QUEUED — with a journal
+        attached their submit lines carry no finish line, so the next start
+        re-enqueues them), then flushes and closes the journal and trace log.
+        Returns ``{"inflight": ..., "drained": ..., "requeued": ...}`` so the
+        CLI can report what happened to in-flight work.
+        """
+        with self.pool._lock:
+            inflight = len(self.pool._inflight)
+        self.shutdown()
+        self.server_close()
+        self.pool.shutdown(wait=True, cancel_pending=True)
+        counts = self.pool.store.counts()
+        requeued = counts.get("queued", 0) + counts.get("running", 0)
+        if self.journal is not None:
+            self.journal.close()
+        if self.trace_log is not None:
+            self.recorder.remove_sink(self.trace_log)
+        return {
+            "inflight": inflight,
+            "drained": max(inflight - requeued, 0),
+            "requeued": requeued,
+            "journaled": self.journal is not None,
+        }
 
 
 def create_server(

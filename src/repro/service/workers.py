@@ -8,7 +8,8 @@ Submission path (all under one lock, so concurrent clients agree):
 3. an identical job already queued/running -> return *that* job (in-flight
    deduplication: concurrent clients share one computation);
 4. the pool is saturated (``max_queued`` unfinished jobs) ->
-   :class:`QueueFullError` (the HTTP layer maps it to 429);
+   :class:`QueueFullError` (the HTTP layer maps it to 429, with a
+   ``Retry-After`` hint derived from observed job durations);
 5. otherwise enqueue a fresh job on the executor.
 
 Results are cached only on success; failures capture the traceback on the job
@@ -16,6 +17,21 @@ and are re-runnable.  A queued job can be cancelled (:meth:`WorkerPool.cancel`)
 until a worker picks it up.  With a :class:`~repro.service.journal.JobJournal`
 attached, every accepted job and every terminal transition is journaled, and
 :meth:`WorkerPool.restore_job` rebuilds pre-restart jobs during replay.
+
+Failure semantics hardened here:
+
+* **Deadlines** — ``submit(..., deadline_s=...)`` arms a ``threading.Timer``
+  per job; on expiry the job becomes ``FAILED: deadline`` (never a zombie),
+  its queued future is cancelled, and its ``cancel_event`` is set so a
+  cooperative body (:func:`job_cancelled`) can stop early.  Terminal
+  transitions are first-wins (see :class:`~repro.service.jobs.Job`), so a
+  timer racing a completing worker never double-books metrics or journal
+  lines.  The deadline is **not** part of the content digest — the same work
+  under a different budget is still the same work.
+* **Crashed workers** — in process mode a dead worker process raises
+  ``BrokenProcessPool`` on every pending future; each affected job fails
+  with a diagnostic instead of hanging forever, and the executor is rebuilt
+  so the pool stays usable.
 
 Threads are the default: numpy releases the GIL for its heavy kernels.  But
 the compression workloads also spend real time in Python glue (grouping,
@@ -31,11 +47,14 @@ measures its own run time and the completion callback backfills it.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 import traceback
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
+from ..chaos.plan import maybe_fail
 from ..core.cache import MISSING, ResultCache
 from ..core.hashing import stable_digest
 from ..obs import trace as obs_trace
@@ -44,7 +63,7 @@ from .jobs import Job, JobState, JobStore
 from .journal import JobJournal
 from .registry import ScenarioRegistry
 
-__all__ = ["QueueFullError", "WorkerPool", "job_digest"]
+__all__ = ["QueueFullError", "WorkerPool", "job_cancelled", "job_digest"]
 
 # Pool-level metric families, shared across every pool in the process (the
 # service pool and any campaign pools aggregate into one scrape).
@@ -52,7 +71,7 @@ _OBS = get_metrics()
 _JOBS_TOTAL = _OBS.counter(
     "repro_jobs_total",
     "Job lifecycle events per scenario: submitted, cache_hit, dedup_hit, "
-    "rejected, restored, done, failed, cancelled.",
+    "rejected, restored, done, failed, cancelled, deadline.",
     ("scenario", "event"),
 )
 _QUEUE_DEPTH = _OBS.gauge(
@@ -75,11 +94,35 @@ def job_digest(job_type: str, params: dict) -> str:
     return stable_digest("repro-job", job_type, params)
 
 
-class QueueFullError(RuntimeError):
-    """The pool already holds ``max_queued`` unfinished jobs (backpressure)."""
+#: The job a worker thread is currently executing (threads only; a process
+#: body cannot see the parent's Job object).
+_CURRENT_JOB: contextvars.ContextVar[Job | None] = contextvars.ContextVar(
+    "repro_current_job", default=None
+)
 
-    def __init__(self, limit: int):
+
+def job_cancelled() -> bool:
+    """True when the currently-executing job was cancelled or hit its deadline.
+
+    Long-running cooperative job bodies call this between work units and bail
+    out early instead of computing a result nobody will read.  Outside a
+    worker thread it is always ``False``.
+    """
+    job = _CURRENT_JOB.get()
+    return job is not None and job.cancel_event.is_set()
+
+
+class QueueFullError(RuntimeError):
+    """The pool already holds ``max_queued`` unfinished jobs (backpressure).
+
+    Carries the pool's ``retry_after`` hint — an estimate of when capacity
+    frees up, derived from observed job durations — which the HTTP layer
+    forwards as a ``Retry-After`` header on the 429.
+    """
+
+    def __init__(self, limit: int, retry_after: float = 0.5):
         self.limit = limit
+        self.retry_after = retry_after
         super().__init__(
             f"job queue is full ({limit} unfinished job(s)); retry later"
         )
@@ -146,18 +189,39 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._inflight: dict[str, str] = {}  # digest -> job_id
         self._futures: dict[str, Future] = {}  # job_id -> executor future
+        self._deadline_timers: dict[str, threading.Timer] = {}  # job_id -> timer
         self._submitted = 0
         self._cache_hits = 0
         self._dedup_hits = 0
         self._cancelled = 0
         self._rejected = 0
+        self._expired = 0
+        self._broken_rebuilds = 0
+        #: EWMA of observed job run durations, feeding the Retry-After hint.
+        self._run_ewma: float | None = None
 
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
 
-    def submit(self, job_type: str, params: dict | None = None) -> Job:
-        """Submit a job; may return an already-finished or shared job."""
+    def submit(
+        self,
+        job_type: str,
+        params: dict | None = None,
+        deadline_s: float | None = None,
+    ) -> Job:
+        """Submit a job; may return an already-finished or shared job.
+
+        ``deadline_s`` is a wall-clock budget from now: a job that has not
+        finished when it expires becomes ``FAILED: deadline``.  It does not
+        participate in the content digest, so a deduplicated submit shares
+        the in-flight job *and its original deadline*.
+        """
+        if deadline_s is not None:
+            if not isinstance(deadline_s, (int, float)) or isinstance(deadline_s, bool):
+                raise ValueError("deadline_s must be a positive number")
+            if not deadline_s > 0:
+                raise ValueError("deadline_s must be a positive number")
         declared = self.registry.get(job_type)  # fail fast on unknown job types
         # Canonicalize against the declared defaults before hashing, so
         # {"seed": 0} and {} dedup/cache to the same digest (unknown keys are
@@ -195,14 +259,18 @@ class WorkerPool:
             if self.max_queued is not None and len(self._inflight) >= self.max_queued:
                 self._rejected += 1
                 _JOBS_TOTAL.inc(scenario=job_type, event="rejected")
-                raise QueueFullError(self.max_queued)
+                raise QueueFullError(
+                    self.max_queued, retry_after=self._retry_after_hint_locked()
+                )
             job = self.store.create(job_type, params, digest)
+            job.deadline_s = deadline_s
             self._attach_trace(job, ctx)
             self._enqueue_inflight(job)
             self._submitted += 1
             _JOBS_TOTAL.inc(scenario=job_type, event="submitted")
         self._record_submit(job)
         self._dispatch(job)
+        self._arm_deadline(job)
         return job
 
     def _attach_trace(self, job: Job, ctx: obs_trace.TraceContext | None) -> None:
@@ -234,9 +302,15 @@ class WorkerPool:
             _QUEUE_DEPTH.inc()
         self._inflight[job.digest] = job.job_id
 
-    def run(self, job_type: str, params: dict | None = None, timeout: float | None = None) -> Job:
+    def run(
+        self,
+        job_type: str,
+        params: dict | None = None,
+        timeout: float | None = None,
+        deadline_s: float | None = None,
+    ) -> Job:
         """Submit and block until finished (convenience for CLI/tests)."""
-        job = self.submit(job_type, params)
+        job = self.submit(job_type, params, deadline_s=deadline_s)
         if not job.wait(timeout):
             raise TimeoutError(f"job {job.job_id} ({job_type}) did not finish in {timeout}s")
         return job
@@ -250,6 +324,7 @@ class WorkerPool:
         state: JobState | None = None,
         error: str | None = None,
         trace_id: str | None = None,
+        deadline_s: float | None = None,
     ) -> tuple[Job, bool]:
         """Re-create a pre-restart job under its historical id (journal replay).
 
@@ -259,11 +334,15 @@ class WorkerPool:
         restart — is re-enqueued for execution.  Backpressure does not apply:
         these jobs were accepted before the restart.  ``trace_id`` (from the
         journal's submit record) keeps the job's trace identity across the
-        restart; the parent span is gone with the old process.
+        restart; the parent span is gone with the old process.  A journaled
+        ``deadline_s`` re-arms with its *full* budget — the pre-restart wall
+        clock is meaningless after a restart.
         """
         with self._lock:
             job = self.store.restore(job_id, job_type, params, digest)
         job.trace_id = trace_id or obs_trace.new_trace_id()
+        if deadline_s is not None and deadline_s > 0:
+            job.deadline_s = float(deadline_s)
         _JOBS_TOTAL.inc(scenario=job_type, event="restored")
         if state is JobState.FAILED:
             job.mark_failed(error or "failed before service restart")
@@ -287,6 +366,7 @@ class WorkerPool:
             self._enqueue_inflight(job)
             self._submitted += 1
         self._dispatch(job)
+        self._arm_deadline(job)
         return job, True
 
     def cancel(self, job_id: str) -> Job | None:
@@ -313,36 +393,110 @@ class WorkerPool:
         # outside the pool lock; it is atomic against executor pickup.
         if future is None or not future.cancel():
             return job
-        job.mark_cancelled()
+        if not job.mark_cancelled():
+            return job  # a deadline timer got there first
         self._record_finish(job)
+        self._cleanup(job)
         with self._lock:
-            if self._inflight.get(job.digest) == job.job_id:
-                del self._inflight[job.digest]
-                _QUEUE_DEPTH.dec()
-            self._futures.pop(job_id, None)
             self._cancelled += 1
         _JOBS_TOTAL.inc(scenario=job.job_type, event="cancelled")
         return job
+
+    # ------------------------------------------------------------------ #
+    # Deadlines
+    # ------------------------------------------------------------------ #
+
+    def _arm_deadline(self, job: Job) -> None:
+        if job.deadline_s is None or job.state.finished:
+            return
+        timer = threading.Timer(job.deadline_s, self._expire_job, args=(job,))
+        timer.daemon = True
+        with self._lock:
+            self._deadline_timers[job.job_id] = timer
+        timer.start()
+        if job.state.finished:
+            # The job finished between the checks; _cleanup already popped
+            # (or will pop) the timer entry — make sure it cannot fire late.
+            timer.cancel()
+
+    def _expire_job(self, job: Job) -> None:
+        """Deadline timer body: fail the job unless it already finished."""
+        # Flag first: a cooperative running body observes the cancellation
+        # even while we race it for the terminal transition below.
+        job.cancel_event.set()
+        with self._lock:
+            future = self._futures.get(job.job_id)
+        if future is not None:
+            # Queued jobs never start; running ones keep the worker until the
+            # body returns (its completion loses the first-wins transition).
+            future.cancel()
+        if not job.mark_failed(
+            f"deadline: exceeded {job.deadline_s}s budget "
+            f"(state at expiry: {'running' if job.started_at else 'queued'})"
+        ):
+            return  # the worker finished first; nothing expired
+        with self._lock:
+            self._expired += 1
+        _JOBS_TOTAL.inc(scenario=job.job_type, event="deadline")
+        self._observe_finish(job)
+        self._record_finish(job)
+        self._cleanup(job)
 
     # ------------------------------------------------------------------ #
     # Execution internals
     # ------------------------------------------------------------------ #
 
     def _dispatch(self, job: Job) -> None:
-        if self.use_processes:
-            # The job body runs in another process; bookkeeping happens here
-            # via the future's completion callback (an executor thread).
-            future = self._executor.submit(_process_run, job.job_type, job.params)
-            future.add_done_callback(
-                lambda fut, job=job: self._finish_process_job(job, fut)
-            )
-        else:
-            future = self._executor.submit(self._execute, job)
+        try:
+            future = self._submit_to_executor(job)
+        except BrokenProcessPool:
+            # The executor died before this job could even be enqueued (a
+            # worker crashed under an earlier job).  Rebuild once and retry.
+            self._rebuild_executor()
+            try:
+                future = self._submit_to_executor(job)
+            except BrokenProcessPool:
+                if job.mark_failed(
+                    "worker pool broken: a worker process crashed and the "
+                    "rebuilt pool is also unusable"
+                ):
+                    self._observe_finish(job)
+                    self._record_finish(job)
+                    self._cleanup(job)
+                return
         with self._lock:
             # A fast job may already be finished (its cleanup saw no entry);
             # only track futures whose jobs can still be cancelled.
             if not job.state.finished:
                 self._futures[job.job_id] = future
+
+    def _submit_to_executor(self, job: Job) -> Future:
+        with self._lock:
+            executor = self._executor
+        if self.use_processes:
+            # The job body runs in another process; bookkeeping happens here
+            # via the future's completion callback (an executor thread).
+            future = executor.submit(_process_run, job.job_type, job.params)
+            future.add_done_callback(
+                lambda fut, job=job: self._finish_process_job(job, fut)
+            )
+        else:
+            future = executor.submit(self._execute, job)
+        return future
+
+    def _rebuild_executor(self) -> None:
+        """Replace a broken process executor so the pool stays usable."""
+        if not self.use_processes:
+            return
+        with self._lock:
+            # Several pending futures crash together and every callback calls
+            # in; only the first rebuild of a still-broken executor proceeds.
+            if not getattr(self._executor, "_broken", True):
+                return
+            old = self._executor
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._broken_rebuilds += 1
+        old.shutdown(wait=False)
 
     def _record_submit(self, job: Job) -> None:
         if self._journal is not None:
@@ -358,14 +512,28 @@ class WorkerPool:
                 del self._inflight[job.digest]
                 _QUEUE_DEPTH.dec()
             self._futures.pop(job.job_id, None)
+            timer = self._deadline_timers.pop(job.job_id, None)
+        if timer is not None:
+            timer.cancel()
 
     def _observe_finish(self, job: Job) -> None:
         if job.run_seconds is not None:
             _RUN_SECONDS.observe(job.run_seconds, scenario=job.job_type)
+            with self._lock:
+                self._run_ewma = (
+                    job.run_seconds
+                    if self._run_ewma is None
+                    else 0.8 * self._run_ewma + 0.2 * job.run_seconds
+                )
         event = "done" if job.state is JobState.DONE else "failed"
         _JOBS_TOTAL.inc(scenario=job.job_type, event=event)
 
     def _execute(self, job: Job) -> None:
+        if job.state.finished or job.cancel_event.is_set():
+            # The deadline expired (or a cancel landed) while this sat in the
+            # executor queue faster than future.cancel() could stop it; the
+            # expirer owns the bookkeeping.
+            return
         job.mark_running()
         job.worker = threading.current_thread().name
         if job.queue_seconds is not None:
@@ -373,52 +541,89 @@ class WorkerPool:
         # The job's span is activated around the body, so codec/pipeline
         # spans started inside nest under it and share the job's trace.
         job_span = self._start_job_span(job)
+        token = _CURRENT_JOB.set(job)
+        finished_here = False
         try:
             with obs_trace.activate(job_span):
+                maybe_fail("worker.run")
                 result = self.registry.run(job.job_type, job.params)
             # Store before marking done: once a client sees DONE, the cache
             # must already serve the digest.
             self.cache.put(job.digest, result)
-            job.mark_done(result)
+            finished_here = job.mark_done(result)
             job_span.finish()
         except Exception:
-            job.mark_failed(traceback.format_exc())
+            finished_here = job.mark_failed(traceback.format_exc())
             job_span.finish(error=job.error.strip().splitlines()[-1] if job.error else "failed")
         finally:
-            self._observe_finish(job)
-            self._record_finish(job)
-            self._cleanup(job)
+            _CURRENT_JOB.reset(token)
+            # First-wins: when a deadline timer landed the terminal state,
+            # it also did the metrics/journal/cleanup — doing it again here
+            # would double-count.
+            if finished_here:
+                self._observe_finish(job)
+                self._record_finish(job)
+                self._cleanup(job)
 
     def _finish_process_job(self, job: Job, future: Future) -> None:
         """Completion callback for process-mode jobs (runs on an executor thread)."""
         if future.cancelled():
-            # WorkerPool.cancel() owns the bookkeeping for this path (the
-            # callback fires synchronously inside future.cancel()).
+            # WorkerPool.cancel() / the deadline expirer own the bookkeeping
+            # for this path (the callback fires synchronously inside
+            # future.cancel()).
             return
         job_span = self._start_job_span(job)
         job.worker = "process-pool"
+        finished_here = False
         try:
             run_seconds, result = future.result()
             job.backfill_running(run_seconds)
             if job.queue_seconds is not None:
                 _QUEUE_WAIT.observe(job.queue_seconds)
             self.cache.put(job.digest, result)
-            job.mark_done(result)
+            finished_here = job.mark_done(result)
             # The body ran in another process where this recorder does not
             # exist; backfill the worker's own measurement.  Inner codec
             # spans are a documented gap in process mode.
             job_span.finish(duration=run_seconds)
+        except BrokenProcessPool:
+            # The worker process died mid-job (OOM kill, segfault, kill -9).
+            # Fail the job with a diagnostic instead of hanging the pool, and
+            # rebuild the executor so later submissions still run.
+            finished_here = job.mark_failed(
+                "worker process crashed while running this job "
+                "(BrokenProcessPool); the process pool has been rebuilt"
+            )
+            job_span.finish(error="worker process crashed")
+            self._rebuild_executor()
         except Exception:
-            job.mark_failed(traceback.format_exc())
+            finished_here = job.mark_failed(traceback.format_exc())
             job_span.finish(error=job.error.strip().splitlines()[-1] if job.error else "failed")
         finally:
-            self._observe_finish(job)
-            self._record_finish(job)
-            self._cleanup(job)
+            if finished_here:
+                self._observe_finish(job)
+                self._record_finish(job)
+                self._cleanup(job)
 
     # ------------------------------------------------------------------ #
     # Introspection / shutdown
     # ------------------------------------------------------------------ #
+
+    def retry_after_hint(self) -> float:
+        """Seconds a rejected client should wait before retrying.
+
+        Scales the EWMA of observed run durations by how many jobs are ahead
+        per worker, clamped to [0.1, 30].  Before any job has finished the
+        hint is a flat 0.5s.
+        """
+        with self._lock:
+            return self._retry_after_hint_locked()
+
+    def _retry_after_hint_locked(self) -> float:
+        if self._run_ewma is None:
+            return 0.5
+        backlog = max(len(self._inflight), 1) / max(self.max_workers, 1)
+        return min(max(self._run_ewma * backlog, 0.1), 30.0)
 
     def stats(self) -> dict:
         with self._lock:
@@ -428,7 +633,9 @@ class WorkerPool:
                 self._dedup_hits,
             )
             cancelled, rejected = self._cancelled, self._rejected
+            expired, broken_rebuilds = self._expired, self._broken_rebuilds
             inflight = len(self._inflight)
+            retry_after = self._retry_after_hint_locked()
         return {
             "workers": self.max_workers,
             "worker_kind": "process" if self.use_processes else "thread",
@@ -437,13 +644,31 @@ class WorkerPool:
             "dedup_hits": dedup_hits,
             "cancelled": cancelled,
             "rejected": rejected,
+            "expired": expired,
+            "broken_rebuilds": broken_rebuilds,
             "max_queued": self.max_queued,
             "inflight": inflight,
+            "retry_after_hint": retry_after,
             "states": self.store.counts(),
         }
 
-    def shutdown(self, wait: bool = True) -> None:
-        self._executor.shutdown(wait=wait)
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop the executor.
+
+        ``cancel_pending=True`` is the graceful-drain mode: queued futures
+        are cancelled (those jobs stay QUEUED — with a journal attached their
+        submit lines have no finish line, so a restart re-enqueues them)
+        while already-running jobs finish under ``wait=True``.
+        """
+        with self._lock:
+            timers = list(self._deadline_timers.values())
+            self._deadline_timers.clear()
+        for timer in timers:
+            timer.cancel()
+        if cancel_pending:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+        else:
+            self._executor.shutdown(wait=wait)
 
     def __enter__(self) -> "WorkerPool":
         return self
