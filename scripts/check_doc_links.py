@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in docs/ and README.md resolves.
+
+Docs rot by reference before they rot by content: a renamed file silently
+breaks every ``[text](path.md)`` pointing at it.  This script extracts every
+inline markdown link from ``README.md`` and ``docs/*.md``, skips external
+(``http(s)://``, ``mailto:``) and pure-anchor (``#...``) targets, and
+verifies the rest resolve to real files relative to the referencing
+document.  For in-repo markdown targets with a ``#fragment``, the fragment
+must match a heading in the target file (GitHub-style slugs).
+
+    python scripts/check_doc_links.py          # check README.md + docs/*.md
+    python scripts/check_doc_links.py FILES... # check specific files
+
+Exit code 1 lists every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Images share the syntax; the
+#: leading ``!`` (if any) is irrelevant for resolution.
+LINK_PATTERN = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+)\)")
+
+#: Fenced code blocks, removed before link extraction so shell examples
+#: containing ``(...)`` are not misread as links.
+FENCE_PATTERN = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading line."""
+    text = heading.strip().lstrip("#").strip().lower()
+    text = re.sub(r"`", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """Every heading anchor a markdown file defines."""
+    slugs = set()
+    content = FENCE_PATTERN.sub("", path.read_text())
+    for line in content.splitlines():
+        if line.startswith("#"):
+            slugs.add(github_slug(line))
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    problems = []
+    content = FENCE_PATTERN.sub("", path.read_text())
+    for target in LINK_PATTERN.findall(content):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in heading_slugs(path):
+                problems.append(f"{path}: broken anchor {target!r}")
+            continue
+        raw, _, fragment = target.partition("#")
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}: link {target!r} -> no heading #{fragment} "
+                    f"in {resolved.name}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+    problems = []
+    for path in files:
+        if not path.is_file():
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path))
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"links OK: {len(files)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,14 +143,16 @@ class CampaignDispatcher:
         max_inflight: int = 8,
         client_factory=ServiceClient,
         client_options: dict | None = None,
+        ingest_db: str | None = None,
     ):
         if not endpoints:
             raise ValueError("at least one service endpoint is required")
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         # The runner provides the identical run-dir layout, checkpointing,
-        # and report machinery; the dispatcher only replaces execution.
-        self.runner = CampaignRunner(spec, run_dir, registry=registry)
+        # and report machinery (including --ingest auto-warehousing); the
+        # dispatcher only replaces execution.
+        self.runner = CampaignRunner(spec, run_dir, registry=registry, ingest_db=ingest_db)
         self.spec = self.runner.spec
         self.plan = self.runner.plan
         self.run_dir = self.runner.run_dir

@@ -115,6 +115,7 @@ class CampaignRunner:
         shard_count: int = 1,
         max_jobs: int | None = None,
         registry=None,
+        ingest_db: str | Path | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -122,6 +123,9 @@ class CampaignRunner:
             raise ValueError("max_jobs must be >= 0")
         self.spec = spec
         self.run_dir = Path(run_dir)
+        #: Warehouse database to auto-ingest into when the report is written
+        #: (``repro campaign run --ingest DB``); ``None`` disables.
+        self.ingest_db = ingest_db
         self.jobs = jobs
         self.use_processes = use_processes
         self.shard_index = shard_index
@@ -375,10 +379,23 @@ class CampaignRunner:
         return build_report(self.plan, self.load_results())
 
     def write_report(self) -> dict:
-        """Build and persist ``report.json`` + ``report.csv``; return the report."""
+        """Build and persist ``report.json`` + ``report.csv``; return the report.
+
+        With :attr:`ingest_db` set, the finished run is also ingested into
+        that warehouse database (idempotent by digest, so re-reporting or
+        resuming never duplicates rows).
+        """
         report = self.build_report()
         _write_atomic(self.run_dir / "report.json", serialize_report(report))
         _write_atomic(self.run_dir / "report.csv", report_csv(report))
+        if self.ingest_db is not None:
+            from .. import warehouse
+
+            conn = warehouse.connect(self.ingest_db)
+            try:
+                warehouse.ingest_run_dir(conn, self.run_dir)
+            finally:
+                conn.close()
         return report
 
 

@@ -18,6 +18,9 @@ Examples::
     python -m repro.cli campaign run examples/campaign_pruning_grid.json --jobs 2
     python -m repro.cli campaign resume runs/pruning-grid-0123456789ab
     python -m repro.cli campaign report runs/pruning-grid-0123456789ab
+    python -m repro.cli warehouse ingest runs/pruning-grid-0123456789ab --db wh.sqlite
+    python -m repro.cli warehouse query --db wh.sqlite --where "effective_bits<4" --sort mse
+    python -m repro.cli warehouse pareto --db wh.sqlite -x effective_bits -y mse
     python -m repro.cli codec list
     python -m repro.cli codec run microscaling --param bits=4 --rows 64
     python -m repro.cli codec run pipeline --stages \
@@ -154,6 +157,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "says otherwise)",
     )
     serve_parser.add_argument(
+        "--warehouse",
+        default=None,
+        metavar="PATH",
+        help="serve GET /v1/results from this warehouse database "
+        "(default: DIR/warehouse.sqlite when --journal DIR is given)",
+    )
+    serve_parser.add_argument(
         "--max-queued",
         type=int,
         default=None,
@@ -166,6 +176,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "campaign", help="declarative experiment campaigns (run/resume/report)"
     )
     campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_ingest_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--ingest",
+            default=None,
+            metavar="DB",
+            help="when the report is written, also ingest the run into this "
+            "warehouse database (idempotent by digest)",
+        )
 
     def _add_execution_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--jobs", type=int, default=1, help="worker-pool width")
@@ -196,12 +215,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="checkpoint/report directory (default: runs/<name>-<digest12>)",
     )
     _add_execution_flags(campaign_run)
+    _add_ingest_flag(campaign_run)
 
     campaign_resume = campaign_sub.add_parser(
         "resume", help="resume an interrupted campaign from its run directory"
     )
     campaign_resume.add_argument("run_dir", help="run directory of the interrupted campaign")
     _add_execution_flags(campaign_resume)
+    _add_ingest_flag(campaign_resume)
 
     campaign_report = campaign_sub.add_parser(
         "report", help="(re)build report.json/report.csv from the checkpoints"
@@ -210,6 +231,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_report.add_argument(
         "--json", action="store_true", help="print the aggregate report to stdout"
     )
+    _add_ingest_flag(campaign_report)
 
     campaign_dispatch = campaign_sub.add_parser(
         "dispatch",
@@ -241,6 +263,73 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.1,
         help="seconds between remote status sweeps",
+    )
+    _add_ingest_flag(campaign_dispatch)
+
+    warehouse_parser = subparsers.add_parser(
+        "warehouse", help="results warehouse: ingest runs, query, Pareto frontiers"
+    )
+    warehouse_sub = warehouse_parser.add_subparsers(dest="warehouse_command", required=True)
+
+    warehouse_ingest = warehouse_sub.add_parser(
+        "ingest",
+        help="ingest campaign run dirs / checkpoint files / service node dirs "
+        "into a warehouse database (idempotent by digest)",
+    )
+    warehouse_ingest.add_argument("paths", nargs="+", help="sources to ingest")
+    warehouse_ingest.add_argument(
+        "--db", default="warehouse.sqlite", metavar="PATH",
+        help="warehouse database (created if missing; default: %(default)s)",
+    )
+    warehouse_ingest.add_argument("--json", action="store_true", help="emit the stats as JSON")
+
+    def _add_query_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--db", default="warehouse.sqlite", metavar="PATH",
+            help="warehouse database to query (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--where",
+            action="append",
+            default=[],
+            metavar="EXPR",
+            help="filter 'NAME OP VALUE' (repeatable, ANDed); NAME is an "
+            "identity column or metric leaf, OP one of = != < <= > >=",
+        )
+        sub.add_argument(
+            "--format",
+            choices=("table", "csv", "json"),
+            default="table",
+            help="output format (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--columns",
+            default=None,
+            metavar="A,B,C",
+            help="columns to emit (default: identity + referenced metrics "
+            "for tables, every column otherwise)",
+        )
+
+    warehouse_query = warehouse_sub.add_parser(
+        "query", help="filter/sort warehouse cells and print them"
+    )
+    _add_query_flags(warehouse_query)
+    warehouse_query.add_argument("--sort", default=None, metavar="COL", help="sort column")
+    warehouse_query.add_argument("--desc", action="store_true", help="sort descending")
+    warehouse_query.add_argument("--limit", type=int, default=None, metavar="N")
+    warehouse_query.add_argument("--offset", type=int, default=0, metavar="N")
+
+    warehouse_pareto = warehouse_sub.add_parser(
+        "pareto", help="Pareto frontier of the matched cells over two metrics"
+    )
+    _add_query_flags(warehouse_pareto)
+    warehouse_pareto.add_argument("-x", required=True, metavar="COL", help="x-axis metric")
+    warehouse_pareto.add_argument("-y", required=True, metavar="COL", help="y-axis metric")
+    warehouse_pareto.add_argument(
+        "--max-x", action="store_true", help="maximize x instead of minimizing"
+    )
+    warehouse_pareto.add_argument(
+        "--max-y", action="store_true", help="maximize y instead of minimizing"
     )
 
     codec_parser = subparsers.add_parser(
@@ -401,6 +490,7 @@ def _serve(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         max_queued=args.max_queued,
         journal_dir=args.journal,
+        warehouse_path=args.warehouse,
     )
     # Graceful shutdown: the first SIGTERM/SIGINT unblocks serve_forever and
     # lets the drain below run; a second signal means "now" and aborts.
@@ -438,12 +528,15 @@ def _serve(args: argparse.Namespace) -> int:
         )
     if args.max_queued is not None:
         print(f"  backpressure: 429 beyond {args.max_queued} unfinished job(s)")
+    if server.warehouse_path is not None:
+        print(f"  warehouse: GET /v1/results reads {server.warehouse_path}")
     chaos_plan = get_plan()
     if chaos_plan is not None:
         print(f"  chaos: REPRO_CHAOS active with {len(chaos_plan.rules)} rule(s)")
     print(
         "  endpoints: /v1/health /v1/scenarios /v1/codecs /v1/compress /v1/jobs "
-        "/v1/cache/stats /v1/metrics  (Ctrl-C / SIGTERM for graceful shutdown)"
+        "/v1/results /v1/cache/stats /v1/metrics  "
+        "(Ctrl-C / SIGTERM for graceful shutdown)"
     )
     try:
         server.serve_forever()
@@ -596,6 +689,7 @@ def _campaign_dispatch(args: argparse.Namespace) -> int:
             run_dir=run_dir,
             max_inflight=args.max_inflight,
             poll_interval=args.poll_interval,
+            ingest_db=args.ingest,
         )
         stats = dispatcher.run()
     except (FileNotFoundError, ValueError) as error:
@@ -656,7 +750,7 @@ def _campaign(args: argparse.Namespace) -> int:
         if args.campaign_command == "dispatch":
             return _campaign_dispatch(args)
         if args.campaign_command == "report":
-            runner = CampaignRunner.resume(args.run_dir)
+            runner = CampaignRunner.resume(args.run_dir, ingest_db=args.ingest)
             try:
                 report = runner.write_report()
             except KeyError as error:
@@ -678,6 +772,7 @@ def _campaign(args: argparse.Namespace) -> int:
             shard_index=shard_index,
             shard_count=shard_count,
             max_jobs=args.max_jobs,
+            ingest_db=args.ingest,
         )
         if args.campaign_command == "run":
             spec = load_spec(args.spec)
@@ -712,6 +807,83 @@ def _campaign(args: argparse.Namespace) -> int:
         print(f"report:  {runner.run_dir / 'report.json'} (+ report.csv)")
     else:
         print("shard complete; report appears once every shard has run")
+    return 0
+
+
+def _warehouse(args: argparse.Namespace) -> int:
+    from . import warehouse
+    from .eval.reporting import format_table, rows_to_csv
+
+    if args.warehouse_command == "ingest":
+        conn = warehouse.connect(args.db)
+        try:
+            stats = warehouse.ingest_paths(conn, args.paths)
+        except warehouse.IngestError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        finally:
+            conn.close()
+        if args.json:
+            print(json.dumps(stats.to_jsonable(), indent=2, sort_keys=True))
+            return 0
+        print(
+            f"ingested {stats.sources} source(s) into {args.db}: "
+            f"{stats.inserted} inserted, {stats.duplicates} duplicate(s), "
+            f"{stats.invalid} invalid file(s) skipped"
+        )
+        for path in stats.invalid_files[:5]:
+            print(f"  skipped: {path}")
+        return 0
+
+    # query / pareto share database access, filters, and output formatting.
+    try:
+        conn = warehouse.connect_readonly(args.db)
+    except (FileNotFoundError, warehouse.SchemaError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        filters = warehouse.parse_filters(args.where)
+        columns = (
+            [c.strip() for c in args.columns.split(",") if c.strip()]
+            if args.columns is not None
+            else None
+        )
+        if args.warehouse_command == "query":
+            rows, total = warehouse.query_cells(
+                conn,
+                filters,
+                sort=args.sort,
+                descending=args.desc,
+                offset=args.offset,
+                limit=args.limit,
+                columns=columns,
+            )
+            display_columns = columns or warehouse.default_columns(filters, args.sort)
+        else:  # pareto
+            matched, total = warehouse.query_cells(conn, filters)
+            rows = warehouse.pareto_front(
+                matched, args.x, args.y, maximize_x=args.max_x, maximize_y=args.max_y
+            )
+            if columns is not None:
+                rows = [{c: row.get(c) for c in columns} for row in rows]
+            display_columns = columns or warehouse.default_columns(filters, None) + [
+                c for c in (args.x, args.y)
+                if c not in warehouse.default_columns(filters, None)
+            ]
+    except warehouse.QueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+
+    if args.format == "json":
+        print(json.dumps({"results": rows, "total": total}, indent=2, sort_keys=True))
+    elif args.format == "csv":
+        print(rows_to_csv(rows, columns=columns), end="")
+    else:
+        shown = [{c: row.get(c) for c in display_columns} for row in rows]
+        title = f"{len(rows)} of {total} matched cell(s) in {args.db}"
+        print(format_table(shown, columns=display_columns, title=title, precision=6))
     return 0
 
 
@@ -890,6 +1062,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  ablations")
         print("  all")
         print("  campaign (run/resume/report/dispatch declarative campaign specs)")
+        print("  warehouse (ingest/query/pareto over the results warehouse)")
         print("  codec (run/list composable compression codecs)")
         print("  obs (metrics/trace/summary observability surfaces)")
         print("  chaos (fault-injection plans and the chaos HTTP proxy)")
@@ -919,6 +1092,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "campaign":
         return _campaign(args)
+
+    if args.command == "warehouse":
+        return _warehouse(args)
 
     if args.command == "codec":
         return _codec(args)

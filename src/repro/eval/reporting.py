@@ -200,10 +200,22 @@ def rows_to_csv(rows: Iterable[dict[str, Any]], columns: list[str] | None = None
         columns = sorted(seen)
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
-    writer.writerow(columns)
+    # With lineterminator="\n" the minimal-quoting writer does not treat a
+    # bare carriage return as special, so a field containing "\r" would be
+    # written unquoted and break round-tripping through csv.reader.  Rows
+    # with such fields fall back to quote-everything.
+    quoting_writer = csv.writer(buffer, lineterminator="\n", quoting=csv.QUOTE_ALL)
+
+    def _write(fields: list) -> None:
+        needs_full_quoting = any(
+            isinstance(field, str) and "\r" in field for field in fields
+        )
+        (quoting_writer if needs_full_quoting else writer).writerow(fields)
+
+    _write(columns)
     for row in rows:
-        writer.writerow(
-            "" if row.get(column) is None else row.get(column) for column in columns
+        _write(
+            ["" if row.get(column) is None else row.get(column) for column in columns]
         )
     return buffer.getvalue()
 

@@ -455,6 +455,16 @@ def declare_standard_families(registry: MetricsRegistry) -> None:
         "Latency of named operations timed with repro.obs.timed().",
         ("operation",),
     )
+    registry.counter(
+        "repro_warehouse_ingested_total",
+        "Warehouse ingest outcomes per cell, by outcome "
+        "(inserted, duplicate, invalid).",
+        ("outcome",),
+    )
+    registry.histogram(
+        "repro_warehouse_query_seconds",
+        "Warehouse query latency (filter + pivot + sort).",
+    )
 
 
 _metrics_lock = threading.Lock()

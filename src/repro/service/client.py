@@ -34,6 +34,7 @@ import random
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Callable
 
@@ -480,6 +481,44 @@ class ServiceClient:
             if value is not None
         )
         return self.request("GET", self._path("/jobs" + (f"?{query}" if query else "")))
+
+    def results(
+        self,
+        where: list[str] | None = None,
+        sort: str | None = None,
+        descending: bool = False,
+        offset: int | None = None,
+        limit: int | None = None,
+        columns: list[str] | None = None,
+    ) -> dict:
+        """``GET /v1/results``: query the node's results warehouse.
+
+        ``where`` takes ``"NAME OP VALUE"`` filter strings (the same syntax
+        as ``repro warehouse query --where``); returns the pagination
+        envelope ``{"results": [...], "total": N, "offset": o, "limit": l}``.
+        A node started without a warehouse answers 503.
+        """
+        params: list[tuple[str, str]] = [("where", w) for w in (where or [])]
+        if sort is not None:
+            params.append(("sort", sort))
+        if descending:
+            params.append(("order", "desc"))
+        if offset is not None:
+            params.append(("offset", str(offset)))
+        if limit is not None:
+            params.append(("limit", str(limit)))
+        if columns is not None:
+            params.append(("columns", ",".join(columns)))
+        query = urllib.parse.urlencode(params)
+        return self.request(
+            "GET", self._path("/results" + (f"?{query}" if query else ""))
+        )
+
+    def result_detail(self, digest: str) -> dict:
+        """``GET /v1/results/<digest>``: one cell's full warehouse record."""
+        return self.request(
+            "GET", self._path(f"/results/{urllib.parse.quote(digest, safe='')}")
+        )
 
     # ------------------------------------------------------------------ #
     # Pre-submit validation

@@ -88,6 +88,8 @@ V1_ROUTES = (
     "GET /v1/jobs/<id>/result",
     "GET /v1/jobs/<id>/trace",
     "GET /v1/metrics",
+    "GET /v1/results",
+    "GET /v1/results/<digest>",
     "GET /v1/scenarios",
     "POST /v1/campaign",
     "POST /v1/compress",
@@ -133,6 +135,8 @@ def _route_label(method: str, parts: list[str]) -> str:
     normalized = list(parts)
     if len(normalized) >= 2 and normalized[0] == "jobs":
         normalized[1] = "<id>"
+    if len(normalized) == 2 and normalized[0] == "results":
+        normalized[1] = "<digest>"
     candidate = "/v1/" + "/".join(normalized)
     if f"{method} {candidate}" in _V1_ROUTE_SET:
         return candidate
@@ -386,6 +390,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_metrics(url.query)
         elif parts == ["jobs"]:
             self._send_json(200, self._list_jobs(url.query))
+        elif parts == ["results"]:
+            self._send_json(200, self._list_results(url.query))
+        elif len(parts) == 2 and parts[0] == "results":
+            self._send_result_detail(parts[1])
         elif len(parts) in (2, 3) and parts[0] == "jobs":
             job = pool.store.get(parts[1])
             if job is None:
@@ -543,6 +551,91 @@ class _RequestHandler(BaseHTTPRequestHandler):
             raise _HTTPError(400, f'"{key}" must be >= 0, got {value}')
         return value
 
+    def _warehouse_connection(self):
+        """Open the configured warehouse read-only, or fail with an envelope.
+
+        A fresh connection per request: :mod:`sqlite3` connections are not
+        shareable across handler threads, and read-only open is cheap.  No
+        warehouse configured (or none ingested yet) answers 503 — the server
+        is fine, the analytics backend just is not there.
+        """
+        from .. import warehouse
+
+        path = self.server.warehouse_path
+        if path is None:
+            raise _HTTPError(
+                503, "no warehouse configured; start the server with --warehouse PATH"
+            )
+        try:
+            return warehouse.connect_readonly(path)
+        except FileNotFoundError:
+            raise _HTTPError(
+                503,
+                f"warehouse database {path} does not exist yet; "
+                "run `repro warehouse ingest` first",
+            ) from None
+        except warehouse.SchemaError as error:
+            raise _HTTPError(500, str(error)) from None
+
+    def _list_results(self, query_string: str) -> dict:
+        """``GET /v1/results``: filtered warehouse rows, paginated like /v1/jobs.
+
+        Query parameters: repeatable ``where=NAME OP VALUE`` filters,
+        ``sort``/``order`` (``asc``/``desc``), ``offset``/``limit``, and an
+        optional comma-separated ``columns`` restriction.  Bad parameters
+        answer 400 with the standard error envelope.
+        """
+        from .. import warehouse
+
+        query = parse_qs(query_string)
+        unknown = set(query) - {"where", "sort", "order", "offset", "limit", "columns"}
+        if unknown:
+            raise _HTTPError(400, f"unknown query parameter(s) {sorted(unknown)}")
+        order = query.get("order", ["asc"])[0]
+        if order not in ("asc", "desc"):
+            raise _HTTPError(400, f'invalid "order" {order!r}; one of ["asc", "desc"]')
+        offset = self._parse_non_negative_int(query, "offset", 0)
+        limit = self._parse_non_negative_int(query, "limit", None)
+        columns = None
+        if "columns" in query:
+            columns = [c.strip() for c in query["columns"][0].split(",") if c.strip()]
+            if not columns:
+                raise _HTTPError(400, '"columns" must name at least one column')
+        try:
+            filters = warehouse.parse_filters(query.get("where", []))
+        except warehouse.QueryError as error:
+            raise _HTTPError(400, str(error)) from None
+        conn = self._warehouse_connection()
+        try:
+            rows, total = warehouse.query_cells(
+                conn,
+                filters,
+                sort=query.get("sort", [None])[0],
+                descending=order == "desc",
+                offset=offset,
+                limit=limit,
+                columns=columns,
+            )
+        except warehouse.QueryError as error:
+            raise _HTTPError(400, str(error)) from None
+        finally:
+            conn.close()
+        return {"results": rows, "total": total, "offset": offset, "limit": limit}
+
+    def _send_result_detail(self, digest: str) -> None:
+        """``GET /v1/results/<digest>``: one cell's full warehouse record."""
+        from .. import warehouse
+
+        conn = self._warehouse_connection()
+        try:
+            record = warehouse.cell_detail(conn, digest)
+        finally:
+            conn.close()
+        if record is None:
+            self._send_json(404, {"error": f"no such result {digest!r}"})
+        else:
+            self._send_json(200, record)
+
     def _submit_campaign(self, body: dict):
         """Validate and enqueue one ``POST /campaign`` request.
 
@@ -662,10 +755,13 @@ class ReproServer(ThreadingHTTPServer):
         max_queued: int | None = None,
         journal: JobJournal | None = None,
         trace_log: TraceLog | None = None,
+        warehouse_path: str | None = None,
     ):
         super().__init__(address, _RequestHandler)
         self.registry = registry
         self.journal = journal
+        #: Where ``GET /v1/results`` reads from (read-only); ``None`` -> 503.
+        self.warehouse_path = warehouse_path
         # Spans already flow to the process-wide in-memory ring; a trace log
         # additionally persists them as JSONL next to the journal.
         self.recorder = obs_trace.get_recorder()
@@ -745,6 +841,7 @@ def create_server(
     verbose: bool = False,
     max_queued: int | None = None,
     journal_dir: str | None = None,
+    warehouse_path: str | None = None,
 ) -> ReproServer:
     """Build a ready-to-serve :class:`ReproServer` (``port=0`` -> ephemeral).
 
@@ -759,6 +856,11 @@ def create_server(
     under ``<journal_dir>/cache`` so replayed jobs keep their payloads.
     Finished trace spans are appended to ``<journal_dir>/trace.jsonl``
     alongside it.
+
+    ``warehouse_path`` points ``GET /v1/results`` at a results warehouse
+    (read-only); with a journal but no explicit path it defaults to
+    ``<journal_dir>/warehouse.sqlite``, so ``repro warehouse ingest`` into a
+    node's journal directory is immediately queryable from that node.
     """
     if registry is None:
         registry = build_default_registry()
@@ -770,6 +872,8 @@ def create_server(
         if cache_dir is None and journal is not None:
             cache_dir = str(journal.directory / "cache")
         cache = ResultCache(max_entries=cache_size, directory=cache_dir)
+    if warehouse_path is None and journal is not None:
+        warehouse_path = str(journal.directory / "warehouse.sqlite")
     return ReproServer(
         (host, port),
         registry,
@@ -780,4 +884,5 @@ def create_server(
         max_queued=max_queued,
         journal=journal,
         trace_log=trace_log,
+        warehouse_path=warehouse_path,
     )

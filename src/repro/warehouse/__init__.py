@@ -1,0 +1,51 @@
+"""repro.warehouse — a queryable SQLite warehouse for campaign results.
+
+Campaign runs, bare checkpoint files, and service node caches all stamp
+results with the same content-addressed provenance digest; the warehouse
+ingests any of them into one SQLite file (``runs``/``cells``/``metrics``
+tables, stdlib :mod:`sqlite3` only) keyed on that digest, so ingest is
+idempotent and results born on many nodes land in one queryable view.
+
+Three surfaces answer questions over it: the ``repro warehouse
+ingest/query/pareto`` CLI, ``GET /v1/results`` on the service API, and
+:meth:`repro.service.client.ServiceClient.results` — all backed by
+:func:`query_cells` and the shared ``NAME OP VALUE`` filter syntax
+(:func:`parse_filter`).  See ``docs/query-cookbook.md`` for worked
+recipes.
+"""
+
+from .ingest import IngestError, IngestStats, ingest_path, ingest_paths, ingest_run_dir
+from .query import (
+    CELL_FIELDS,
+    Filter,
+    QueryError,
+    cell_detail,
+    default_columns,
+    pareto_front,
+    parse_filter,
+    parse_filters,
+    query_cells,
+)
+from .schema import SCHEMA_VERSION, SchemaError, connect, connect_readonly, schema_version
+
+__all__ = [
+    "CELL_FIELDS",
+    "Filter",
+    "IngestError",
+    "IngestStats",
+    "QueryError",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "cell_detail",
+    "connect",
+    "connect_readonly",
+    "default_columns",
+    "ingest_path",
+    "ingest_paths",
+    "ingest_run_dir",
+    "pareto_front",
+    "parse_filter",
+    "parse_filters",
+    "query_cells",
+    "schema_version",
+]

@@ -1,0 +1,143 @@
+"""SQLite schema and versioned migrations for the results warehouse.
+
+The warehouse is one ordinary SQLite file (stdlib :mod:`sqlite3`, no server,
+no dependencies) holding three tables:
+
+``runs``
+    One row per ingested source: a campaign run directory, a bare
+    checkpoint collection, or a service node's journal+cache directory.
+    Keyed on ``(source, run_dir, spec_digest)`` so re-ingesting the same
+    source reuses its row.
+``cells``
+    One row per result, keyed on the **provenance digest** — the same
+    content digest the campaign checkpoints, the worker-pool cache, and the
+    job journal already use.  Content addressing is what makes ingest
+    idempotent: the digest of identical work is identical everywhere, so a
+    cell ingested twice (or from two nodes) lands on one row.
+``metrics``
+    The flattened scalar leaves of every cell's result payload (via
+    :func:`repro.eval.reporting.flatten_scalars`) plus the cell's
+    parameters under a ``params.`` prefix.  SQLite's dynamic typing keeps
+    numbers numeric and labels textual in one ``value`` column, so filter
+    expressions compare naturally either way.
+
+Migrations are versioned and applied in order inside one transaction per
+version; the applied version is stored in ``PRAGMA user_version``, so opening
+an old warehouse upgrades it in place and opening a newer one than this code
+understands fails loudly instead of corrupting it.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+__all__ = ["SCHEMA_VERSION", "SchemaError", "connect", "connect_readonly", "schema_version"]
+
+#: The schema version this code writes; migrations below go up to here.
+SCHEMA_VERSION = 1
+
+#: ``{version: [statements]}`` applied in ascending order.  Append new
+#: versions; never edit an existing one (old warehouses replay them).
+MIGRATIONS: dict[int, tuple[str, ...]] = {
+    1: (
+        """
+        CREATE TABLE runs (
+            run_id      INTEGER PRIMARY KEY,
+            source      TEXT NOT NULL,
+            run_dir     TEXT NOT NULL,
+            campaign    TEXT,
+            spec_digest TEXT,
+            UNIQUE (source, run_dir, spec_digest)
+        )
+        """,
+        """
+        CREATE TABLE cells (
+            digest   TEXT PRIMARY KEY,
+            run_id   INTEGER NOT NULL REFERENCES runs(run_id),
+            cell     TEXT,
+            grid     TEXT,
+            scenario TEXT NOT NULL,
+            codec    TEXT,
+            params   TEXT NOT NULL,
+            result   TEXT NOT NULL
+        )
+        """,
+        """
+        CREATE TABLE metrics (
+            digest TEXT NOT NULL REFERENCES cells(digest),
+            name   TEXT NOT NULL,
+            value,
+            PRIMARY KEY (digest, name)
+        ) WITHOUT ROWID
+        """,
+        "CREATE INDEX metrics_by_name ON metrics (name, value)",
+        "CREATE INDEX cells_by_scenario ON cells (scenario)",
+        "CREATE INDEX cells_by_codec ON cells (codec)",
+    ),
+}
+
+
+class SchemaError(RuntimeError):
+    """The warehouse file is newer than this code (or not a warehouse)."""
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The migration version currently applied to ``conn``'s database."""
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def _apply_migrations(conn: sqlite3.Connection) -> None:
+    """Bring the database up to :data:`SCHEMA_VERSION`, one version at a time."""
+    current = schema_version(conn)
+    if current > SCHEMA_VERSION:
+        raise SchemaError(
+            f"warehouse schema version {current} is newer than this code "
+            f"understands ({SCHEMA_VERSION}); upgrade repro"
+        )
+    for version in range(current + 1, SCHEMA_VERSION + 1):
+        with conn:  # one transaction per migration version
+            for statement in MIGRATIONS[version]:
+                conn.execute(statement)
+            conn.execute(f"PRAGMA user_version = {version}")
+
+
+def connect(path: str | Path) -> sqlite3.Connection:
+    """Open (creating and migrating as needed) a warehouse database.
+
+    ``path`` may be ``":memory:"`` for a throwaway in-memory warehouse
+    (tests); a file path gets its parent directory created.  Row access is
+    by column name (:class:`sqlite3.Row`).
+    """
+    if path != ":memory:":
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(str(path))
+    conn.row_factory = sqlite3.Row
+    _apply_migrations(conn)
+    return conn
+
+
+def connect_readonly(path: str | Path) -> sqlite3.Connection:
+    """Open an existing warehouse read-only (the HTTP server's access mode).
+
+    Raises :class:`FileNotFoundError` if there is no database at ``path``
+    and :class:`SchemaError` if it was written by a newer schema.  Never
+    creates or migrates anything — a reader must not mutate the file the
+    ingest side owns.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no warehouse database at {path}")
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    conn.row_factory = sqlite3.Row
+    version = schema_version(conn)
+    if version > SCHEMA_VERSION:
+        conn.close()
+        raise SchemaError(
+            f"warehouse schema version {version} is newer than this code "
+            f"understands ({SCHEMA_VERSION}); upgrade repro"
+        )
+    if version < 1:
+        conn.close()
+        raise SchemaError(f"{path} is not a repro warehouse (no schema applied)")
+    return conn

@@ -171,6 +171,52 @@ class TestAggregationHelpers:
         summary = summarize_rows([{"x": 1.0, "ok": True, "s": "t"}, {"x": 3.0}])
         assert summary == {"x": {"count": 2, "min": 1.0, "mean": 2.0, "max": 3.0}}
 
+    def test_rows_to_csv_round_trips_awkward_values(self):
+        # Commas, embedded newlines, bare carriage returns, quotes, and None
+        # must all survive csv.reader round-tripping.  The bare "\r" case is
+        # the regression: with lineterminator="\n" the minimal-quoting writer
+        # left it unquoted, producing CSV csv.reader refuses to parse.
+        import csv
+        import io
+
+        rows = [
+            {"a": "x,y", "b": "line1\nline2", "c": "cr\rhere", "d": 'say "hi"'},
+            {"a": None, "b": 0.5, "c": "", "d": "plain"},
+        ]
+        text = rows_to_csv(rows)
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["a", "b", "c", "d"]
+        assert parsed[1] == ["x,y", "line1\nline2", "cr\rhere", 'say "hi"']
+        assert parsed[2] == ["", "0.5", "", "plain"]
+
+    def test_rows_to_csv_plain_rows_are_unchanged(self):
+        # The "\r" fallback must not alter the bytes of ordinary reports.
+        assert rows_to_csv([{"a": 1, "b": "x"}]) == "a,b\n1,x\n"
+
+    def test_report_csv_round_trips_awkward_metric_values(self):
+        # Through the campaign report path: a cell whose result carries
+        # awkward strings still yields report.csv that csv.reader can parse.
+        import csv
+        import io
+
+        report = {
+            "cells": [
+                {
+                    "cell": "g/0",
+                    "grid": "g",
+                    "scenario": "s",
+                    "digest": "d0",
+                    "params": {"label": "a,b"},
+                    "result": {"note": 'x\nand "more"\rtext', "mse": None},
+                }
+            ]
+        }
+        parsed = list(csv.reader(io.StringIO(report_csv(report))))
+        record = dict(zip(parsed[0], parsed[1]))
+        assert record["params.label"] == "a,b"
+        assert record["result.note"] == 'x\nand "more"\rtext'
+        assert record["result.mse"] == ""
+
 
 # --------------------------------------------------------------------------- #
 # Execution, checkpointing, resume

@@ -1,0 +1,215 @@
+"""HTTP and end-to-end tests for the ``/v1/results`` analytics surface.
+
+Pins the PR's acceptance path: a two-node dispatched campaign followed by
+``repro warehouse ingest`` answers the same metric-filtered query with
+identical rows through the CLI query layer and ``GET /v1/results``, and
+re-running ingest adds zero rows.  Also pins the envelope conventions —
+pagination shaped like ``GET /v1/jobs``, 400 JSON envelopes for bad filter
+parameters, 404 for unknown digests, and 503 when no warehouse is wired.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro import warehouse
+from repro.campaign import parse_spec
+from repro.campaign.dispatch import CampaignDispatcher
+from repro.service import create_server
+from repro.service.client import ServiceClient, ServiceUnavailable
+
+#: Four fast deterministic codec cells dispatched across the two nodes.
+SPEC = {
+    "name": "wh-dispatch",
+    "grids": [
+        {
+            "name": "codecs",
+            "scenario": "codec_compress",
+            "params": {"rows": 16, "cols": 32, "seed": 0},
+            "sweep": {"codec": ["prune", "ptq"], "scale": [1.0, 2.0]},
+        }
+    ],
+}
+
+#: The metric-filtered question the acceptance criteria pose.
+WHERE = ["codec=prune", "metrics.effective_bits<40"]
+
+
+def get(base: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(base + path) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def fast_client(url, **kwargs):
+    kwargs.setdefault("retries", 1)
+    kwargs.setdefault("backoff", 0.01)
+    return ServiceClient(url, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two compute nodes for the dispatched campaign (no warehouse)."""
+    servers = []
+    for _ in range(2):
+        server = create_server(port=0, max_workers=2)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+    yield [f"http://127.0.0.1:{server.port}" for server in servers]
+    for server in servers:
+        server.close()
+
+
+@pytest.fixture(scope="module")
+def warehouse_db(fleet, tmp_path_factory):
+    """Dispatch the campaign over both nodes, then ingest the run dir."""
+    root = tmp_path_factory.mktemp("wh-dispatch")
+    run_dir = root / "run"
+    dispatcher = CampaignDispatcher(
+        parse_spec(SPEC), fleet, run_dir,
+        poll_interval=0.02, client_factory=fast_client,
+    )
+    stats = dispatcher.run()
+    assert stats["report_written"] and stats["failed"] == 0
+
+    db = root / "warehouse.sqlite"
+    conn = warehouse.connect(db)
+    first = warehouse.ingest_run_dir(conn, run_dir)
+    assert first.inserted == 4 and first.invalid == 0
+    second = warehouse.ingest_run_dir(conn, run_dir)  # idempotent re-ingest
+    assert second.inserted == 0 and second.duplicates == 4
+    conn.close()
+    return db
+
+
+@pytest.fixture(scope="module")
+def results_server(warehouse_db):
+    server = create_server(port=0, warehouse_path=str(warehouse_db))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    yield server
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def base(results_server):
+    return f"http://127.0.0.1:{results_server.port}"
+
+
+class TestDispatchedCampaignAcceptance:
+    def test_cli_query_layer_and_http_answer_identically(self, warehouse_db, base):
+        conn = warehouse.connect_readonly(warehouse_db)
+        try:
+            cli_rows, cli_total = warehouse.query_cells(
+                conn, warehouse.parse_filters(WHERE), sort="metrics.mse"
+            )
+        finally:
+            conn.close()
+
+        query = urllib.parse.urlencode(
+            [("where", w) for w in WHERE] + [("sort", "metrics.mse")]
+        )
+        status, envelope = get(base, f"/v1/results?{query}")
+        assert status == 200
+        assert envelope["total"] == cli_total == 2
+        assert envelope["results"] == json.loads(json.dumps(cli_rows))
+
+    def test_service_client_results_matches_http(self, base):
+        client = fast_client(base)
+        envelope = client.results(where=WHERE, sort="metrics.mse")
+        query = urllib.parse.urlencode(
+            [("where", w) for w in WHERE] + [("sort", "metrics.mse")]
+        )
+        assert envelope == get(base, f"/v1/results?{query}")[1]
+        digest = envelope["results"][0]["digest"]
+        detail = client.result_detail(digest)
+        assert detail["digest"] == digest
+        assert detail["metrics"]["metrics.mse"] == envelope["results"][0]["metrics.mse"]
+
+
+class TestResultsEnvelope:
+    def test_pagination_envelope_matches_jobs_conventions(self, base):
+        status, envelope = get(base, "/v1/results?offset=1&limit=2")
+        assert status == 200
+        # The same four keys GET /v1/jobs answers with, rows under "results".
+        assert set(envelope) == {"results", "total", "offset", "limit"}
+        assert envelope["total"] == 4
+        assert len(envelope["results"]) == 2
+        assert envelope["offset"] == 1 and envelope["limit"] == 2
+
+    def test_window_beyond_total_is_empty_not_an_error(self, base):
+        status, envelope = get(base, "/v1/results?offset=99")
+        assert status == 200
+        assert envelope["results"] == [] and envelope["total"] == 4
+
+    def test_columns_restriction(self, base):
+        status, envelope = get(base, "/v1/results?columns=digest,codec")
+        assert status == 200
+        assert all(set(row) == {"digest", "codec"} for row in envelope["results"])
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "where=bogus",
+            "where=a%3D%7B%22b%22%3A1%7D",  # JSON-container value
+            "offset=-1",
+            "limit=nope",
+            "order=sideways",
+            "columns=%20",
+            "frobnicate=1",
+        ],
+    )
+    def test_bad_parameters_answer_400_envelopes(self, base, query):
+        status, body = get(base, f"/v1/results?{query}")
+        assert status == 400
+        assert isinstance(body["error"], str) and body["error"]
+
+    def test_unknown_digest_is_404(self, base):
+        status, body = get(base, "/v1/results/no-such-digest")
+        assert status == 404
+        assert "no-such-digest" in body["error"]
+
+    def test_detail_includes_payloads_and_metrics(self, base):
+        digest = get(base, "/v1/results")[1]["results"][0]["digest"]
+        status, detail = get(base, f"/v1/results/{digest}")
+        assert status == 200
+        assert detail["campaign"] == "wh-dispatch"
+        assert isinstance(detail["params"], dict)
+        assert isinstance(detail["result"], dict)
+        assert "metrics.mse" in detail["metrics"]
+
+    def test_results_is_v1_only(self, base):
+        # The unversioned legacy surface is frozen; /results never joins it.
+        status, _ = get(base, "/results")
+        assert status == 404
+
+
+class TestUnconfiguredWarehouse:
+    def test_answers_503_envelope(self, fleet):
+        status, body = get(fleet[0], "/v1/results")
+        assert status == 503
+        assert "warehouse" in body["error"]
+
+    def test_missing_database_file_answers_503(self, tmp_path):
+        server = create_server(port=0, warehouse_path=str(tmp_path / "none.sqlite"))
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            status, body = get(f"http://127.0.0.1:{server.port}", "/v1/results")
+            assert status == 503
+            assert "ingest" in body["error"]
+        finally:
+            server.close()
+
+    def test_client_treats_503_as_unavailable(self, fleet):
+        # 503 is in the client's retryable set, so an unconfigured warehouse
+        # surfaces as ServiceUnavailable once retries are exhausted.
+        client = fast_client(fleet[0])
+        with pytest.raises(ServiceUnavailable):
+            client.results()
