@@ -103,6 +103,7 @@ def test_zero_point_shift_speedup_over_reference(weight_groups):
     for new, old in zip(
         zero_point_shift_groups(weight_groups, 4),
         zero_point_shift_groups_reference(weight_groups, 4),
+        strict=True,
     ):
         assert np.array_equal(new, old)
 

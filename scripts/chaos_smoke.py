@@ -129,7 +129,7 @@ def check_chaos_dispatch(base: Path) -> list[str]:
     finally:
         for proxy in proxies:
             proxy.stop()
-        for server, thread in zip(servers, threads):
+        for server, thread in zip(servers, threads, strict=False):
             server.close()
             thread.join(timeout=10)
     return failures

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CI gate: the static invariant checkers must pass over src/repro.
+
+Runs every registered checker in :mod:`repro.analysis` (lock-order cycles,
+unguarded ``self._*`` writes, digest purity, metric-label cardinality,
+best-effort seams, span/timer hygiene) over the source tree and fails on
+any unsuppressed finding.  Suppressions (``# repro: ignore[checker-id]``
+with a justification comment) are printed so reviewers see what has been
+acknowledged, not just what failed.
+
+    python scripts/check_invariants.py              # gate src/repro
+    python scripts/check_invariants.py PATHS...     # gate specific paths
+
+Exit code 1 on findings, 2 when the analysis itself cannot run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = argv or [str(REPO_ROOT / "src" / "repro")]
+
+    from repro.analysis import analyze_paths, format_table
+
+    try:
+        report = analyze_paths(paths)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if report.suppressed:
+        print(f"{len(report.suppressed)} suppressed finding(s) (acknowledged):")
+        for line in format_table(report.suppressed).splitlines():
+            print(f"  {line}")
+    if report.findings:
+        print(
+            f"invariant violations ({len(report.findings)} finding(s) across "
+            f"{report.files} file(s)):",
+            file=sys.stderr,
+        )
+        print(format_table(report.findings), file=sys.stderr)
+        print(
+            "\nFix the finding or suppress it with a justified "
+            "`# repro: ignore[checker-id]` comment (see docs/analysis.md).",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"invariants OK: {report.files} file(s), "
+        f"checkers: {', '.join(report.checkers)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

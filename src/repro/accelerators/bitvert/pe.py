@@ -103,10 +103,9 @@ class BitVertPE:
                 bits = column[sub * self.sub_group : (sub + 1) * self.sub_group]
                 schedule = schedule_column(bits)
                 selected = 0
-                for lane, (index, valid) in enumerate(
-                    zip(schedule.selections, schedule.valid)
+                for index, valid in zip(
+                    schedule.selections, schedule.valid, strict=True
                 ):
-                    del lane
                     if valid:
                         selected += int(activations[sub * self.sub_group + index])
                         effectual_ops += 1
@@ -171,7 +170,7 @@ class BitVertPE:
                 bits = column[sub * self.sub_group : (sub + 1) * self.sub_group]
                 schedule = schedule_column(bits)
                 selected = 0
-                for index, valid in zip(schedule.selections, schedule.valid):
+                for index, valid in zip(schedule.selections, schedule.valid, strict=True):
                     if valid:
                         selected += int(activations[sub * self.sub_group + index])
                         effectual_ops += 1

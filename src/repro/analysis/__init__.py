@@ -1,0 +1,40 @@
+"""repro.analysis — AST-based invariant checkers for this repository.
+
+The runtime enforces the repo's contracts (digest stability, bounded metric
+cardinality, best-effort seams, lock discipline) with tests; this package
+enforces them *statically*, before the regression ships.  It is a small
+stdlib-``ast`` engine: files parse once into a shared
+:class:`~repro.analysis.index.SymbolIndex`, registered checkers (the codec
+registry idiom — ``@register_checker``, ``describe_checkers()``) run
+per-file and project-wide passes, and violations surface as structured
+:class:`~repro.analysis.findings.Finding` records with per-line
+``# repro: ignore[checker-id]`` suppression.
+
+Entry points: ``repro analyze`` (CLI), ``scripts/check_invariants.py``
+(CI gate), and :func:`analyze_paths` (library).  See ``docs/analysis.md``
+for the checker catalog and suppression syntax.
+"""
+
+from .engine import AnalysisReport, analyze_paths
+from .findings import Finding, format_json, format_table, parse_suppressions
+from .registry import (
+    Checker,
+    checker_names,
+    describe_checkers,
+    get_checker,
+    register_checker,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "analyze_paths",
+    "checker_names",
+    "describe_checkers",
+    "format_json",
+    "format_table",
+    "get_checker",
+    "parse_suppressions",
+    "register_checker",
+]

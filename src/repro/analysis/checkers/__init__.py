@@ -1,0 +1,3 @@
+"""Built-in checkers; importing this package registers them all."""
+
+from . import digest, locks, metric_labels, seams, spans  # noqa: F401

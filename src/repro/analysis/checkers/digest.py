@@ -1,0 +1,208 @@
+"""Digest purity: content hashes must be deterministic functions of inputs.
+
+``stable_digest``/``tensor_digest`` outputs are content addresses — cache
+keys, checkpoint names, provenance records.  Any nondeterminism feeding a
+digest silently splits the address space: the same logical work stops
+deduplicating and resumed campaigns recompute finished cells.
+
+Scope is built around what actually *feeds* the digest.  A function that
+calls a digest constructor is a root: its whole body is scanned for
+nondeterminism sources (a ``time.time()`` two lines above the digest call
+is almost certainly about to be hashed).  Functions called *inside the
+digest call's argument list* have their return values hashed, so they —
+and, transitively, what they call — are scanned in full, including reads
+of digest-excluded fields (``deadline_s``), which in a root only count
+when they appear inside the argument list itself.  Calls a root makes
+*outside* the argument list (deadline timers, span bookkeeping) do not
+feed the digest and are deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..index import FunctionInfo, SymbolIndex, call_name
+from ..registry import Checker, register_checker
+
+#: Digest constructors; calling one makes a function a purity root.
+DIGEST_FUNCS = {"stable_digest", "tensor_digest", "config_digest", "job_digest"}
+
+#: Module roots whose every call is nondeterministic in digest scope.
+IMPURE_MODULES = {"time", "random"}
+
+#: Fields excluded from digest construction by contract; reading one while
+#: building digest input means the exclusion is about to be violated.
+EXCLUDED_FIELDS = {"deadline_s"}
+
+#: How many call hops past a digest argument the feeding scope extends.
+MAX_DEPTH = 3
+
+
+@register_checker
+class DigestPurityChecker(Checker):
+    """Nondeterminism feeding digest construction."""
+
+    name = "digest-purity"
+    description = (
+        "code feeding stable_digest/tensor_digest must not use time, "
+        "random, os.urandom, id(), or unordered-set iteration, and must "
+        "not read digest-excluded fields (deadline_s)"
+    )
+
+    def check_project(self, index: SymbolIndex) -> Iterator[Finding]:
+        feeders: dict[str, FunctionInfo] = {}
+        for fn in index.functions.values():
+            if fn.name in DIGEST_FUNCS:
+                continue  # the constructors themselves are the vetted API
+            digest_calls = self._digest_calls(fn)
+            if not digest_calls:
+                continue
+            arg_nodes = self._argument_nodes(digest_calls)
+            yield from self._scan(fn, excluded_ok_outside=arg_nodes)
+            for callee in self._argument_callees(fn, arg_nodes, index):
+                feeders.setdefault(callee.qualname, callee)
+        yield from self._scan_feeders(feeders, index)
+
+    # ------------------------------------------------------------------ #
+    # Scope construction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _digest_calls(fn: FunctionInfo) -> list[ast.Call]:
+        calls = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                name = call_name(node.func)
+                if name and name.rsplit(".", 1)[-1] in DIGEST_FUNCS:
+                    calls.append(node)
+        return calls
+
+    @staticmethod
+    def _argument_nodes(digest_calls: list[ast.Call]) -> set[int]:
+        """``id()`` of every AST node inside a digest call's argument list."""
+        nodes: set[int] = set()
+        for call in digest_calls:
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                for sub in ast.walk(arg):
+                    nodes.add(id(sub))
+        return nodes
+
+    def _argument_callees(
+        self, fn: FunctionInfo, arg_nodes: set[int], index: SymbolIndex
+    ) -> list[FunctionInfo]:
+        callees = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) and id(node) in arg_nodes:
+                name = call_name(node.func)
+                if name and name.rsplit(".", 1)[-1] not in DIGEST_FUNCS:
+                    resolved = index.resolve(fn, name)
+                    if resolved is not None:
+                        callees.append(resolved)
+        return callees
+
+    def _scan_feeders(
+        self, seeds: dict[str, FunctionInfo], index: SymbolIndex
+    ) -> Iterator[Finding]:
+        seen = dict(seeds)
+        frontier = list(seeds.values())
+        for _hop in range(MAX_DEPTH):
+            nxt: list[FunctionInfo] = []
+            for fn in frontier:
+                for callee, _line in fn.calls:
+                    if callee.rsplit(".", 1)[-1] in DIGEST_FUNCS:
+                        continue
+                    resolved = index.resolve(fn, callee)
+                    if resolved is not None and resolved.qualname not in seen:
+                        seen[resolved.qualname] = resolved
+                        nxt.append(resolved)
+            frontier = nxt
+        for fn in sorted(seen.values(), key=lambda f: f.qualname):
+            yield from self._scan(fn, excluded_ok_outside=None)
+
+    # ------------------------------------------------------------------ #
+    # Per-function scan
+    # ------------------------------------------------------------------ #
+
+    def _scan(
+        self, fn: FunctionInfo, excluded_ok_outside: set[int] | None
+    ) -> Iterator[Finding]:
+        """Flag impurities in ``fn``.
+
+        ``excluded_ok_outside`` carries the digest-argument node ids for a
+        root: excluded-field reads outside that set are the root doing
+        unrelated bookkeeping and stay legal.  ``None`` (a feeder) means
+        the whole body builds digest input, so every read counts.
+        """
+        path = str(fn.ctx.path)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(fn, path, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._unordered_iterable(node.iter):
+                    yield Finding(
+                        path=path, line=node.lineno, checker=self.name,
+                        message=(
+                            f"{fn.qualname} iterates an unordered set in "
+                            f"digest scope; wrap it in sorted()"
+                        ),
+                    )
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if node.attr in EXCLUDED_FIELDS and (
+                    excluded_ok_outside is None or id(node) in excluded_ok_outside
+                ):
+                    yield self._excluded_field(fn, path, node.lineno, node.attr)
+            elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+                key = node.slice
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value in EXCLUDED_FIELDS
+                    and (excluded_ok_outside is None or id(node) in excluded_ok_outside)
+                ):
+                    yield self._excluded_field(fn, path, node.lineno, key.value)
+
+    def _check_call(
+        self, fn: FunctionInfo, path: str, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = call_name(node.func)
+        if not name:
+            return
+        root = name.partition(".")[0]
+        if root in IMPURE_MODULES and "." in name:
+            yield Finding(
+                path=path, line=node.lineno, checker=self.name,
+                message=f"{fn.qualname} calls {name}() in digest scope",
+            )
+        elif name == "os.urandom":
+            yield Finding(
+                path=path, line=node.lineno, checker=self.name,
+                message=f"{fn.qualname} calls os.urandom() in digest scope",
+            )
+        elif name == "id" and node.args:
+            yield Finding(
+                path=path, line=node.lineno, checker=self.name,
+                message=(
+                    f"{fn.qualname} calls id() in digest scope; object "
+                    f"identity is process-local"
+                ),
+            )
+
+    @staticmethod
+    def _unordered_iterable(node: ast.expr) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.Call):
+            return call_name(node.func) in ("set", "frozenset")
+        return False
+
+    def _excluded_field(
+        self, fn: FunctionInfo, path: str, line: int, field: str
+    ) -> Finding:
+        return Finding(
+            path=path, line=line, checker=self.name,
+            message=(
+                f"{fn.qualname} reads digest-excluded field {field!r} while "
+                f"building digest input; the exclusion contract forbids it"
+            ),
+        )

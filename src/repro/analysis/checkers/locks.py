@@ -1,0 +1,374 @@
+"""Lock discipline: acquisition-order cycles and unguarded state writes.
+
+Two checkers share the lock-discovery machinery:
+
+* ``lock-order`` builds the cross-module lock-acquisition graph — an edge
+  ``L -> M`` means some code path acquires ``M`` (directly, lexically
+  nested, or through a resolvable call chain) while holding ``L`` — and
+  flags every cycle as a potential deadlock.
+* ``lock-guard`` flags writes to ``self._*`` state in classes that own a
+  ``_lock`` when the write happens outside any ``with self._lock`` scope.
+  A private method whose every intra-class call site is (transitively)
+  under the lock counts as guarded — the ``_helper()``-called-under-lock
+  idiom used by ``CircuitBreaker`` and ``WorkerPool`` — so only genuinely
+  reachable-unlocked writes fire.
+
+Lock identity is ``<module>.<Class>.<attr>`` for instance locks assigned
+``threading.Lock()``/``RLock()`` in ``__init__``, and ``<module>.<name>``
+for module-level locks.  Locks the index cannot name (e.g. a lock passed
+in as a constructor argument) are skipped rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from ..index import FileContext, FunctionInfo, SymbolIndex
+from ..registry import Checker, register_checker
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` / bare ``Lock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("Lock", "RLock")
+    return isinstance(func, ast.Name) and func.id in ("Lock", "RLock")
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _private_self_root(target: ast.expr) -> str | None:
+    """Root ``self._x`` attribute of a write target, else None.
+
+    Peels subscripts and attribute chains so ``self._jobs[k] = v`` and
+    ``self._stats.errors += 1`` both resolve to their guarded root.
+    """
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr if attr.startswith("_") else None
+        node = node.value if not isinstance(node, ast.Starred) else node.value
+    return None
+
+
+def _write_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+def _class_locks(cls: ast.ClassDef) -> set[str]:
+    """Instance lock attributes assigned in ``__init__``."""
+    locks: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for sub in ast.walk(stmt):
+                for target in _write_targets(sub) if isinstance(sub, ast.stmt) else ():
+                    attr = _self_attr(target)
+                    if attr and isinstance(sub, ast.Assign) and _is_lock_ctor(sub.value):
+                        locks.add(attr)
+    return locks
+
+
+def _module_locks(tree: ast.Module) -> set[str]:
+    """Module-level names assigned ``threading.Lock()``/``RLock()``."""
+    locks: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_lock_ctor(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    locks.add(target.id)
+    return locks
+
+
+class _MethodScan:
+    """Lexical facts about one method: writes, calls, both with guardedness."""
+
+    def __init__(self) -> None:
+        #: (attr, line, guarded) for every ``self._*`` write.
+        self.writes: list[tuple[str, int, bool]] = []
+        #: (method name, guarded) for every ``self.<m>()`` call site.
+        self.calls: list[tuple[str, bool]] = []
+
+
+def _scan_method(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, lock_attrs: set[str]
+) -> _MethodScan:
+    scan = _MethodScan()
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                _self_attr(item.context_expr) in lock_attrs for item in node.items
+            )
+            for item in node.items:
+                visit(item, guarded)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ) and node is not fn:
+            return  # nested defs run at unknown times; stay conservative
+        if isinstance(node, ast.stmt):
+            for target in _write_targets(node):
+                attr = _private_self_root(target)
+                if attr is not None and attr not in lock_attrs:
+                    scan.writes.append((attr, node.lineno, guarded))
+        if isinstance(node, ast.Call):
+            attr = _self_attr(node.func)
+            if attr is not None:
+                scan.calls.append((attr, guarded))
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    visit(fn, guarded=False)
+    return scan
+
+
+def _guarded_methods(scans: dict[str, _MethodScan]) -> set[str]:
+    """Private methods whose every intra-class call site holds the lock.
+
+    Fixpoint over the intra-class call graph: a call site counts as held
+    when it is lexically under ``with self._lock`` or its caller is itself
+    always-held.  Methods with no intra-class call sites never qualify —
+    they may be entered from anywhere.
+    """
+    callers: dict[str, list[tuple[str, bool]]] = {}
+    for caller, scan in scans.items():
+        for callee, guarded in scan.calls:
+            if callee in scans:
+                callers.setdefault(callee, []).append((caller, guarded))
+    guarded: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in scans:
+            if name in guarded or not name.startswith("_") or name == "__init__":
+                continue
+            sites = callers.get(name, [])
+            if sites and all(held or caller in guarded for caller, held in sites):
+                guarded.add(name)
+                changed = True
+    return guarded
+
+
+@register_checker
+class LockGuardChecker(Checker):
+    """Unguarded ``self._*`` writes in classes that own a ``_lock``."""
+
+    name = "lock-guard"
+    description = (
+        "writes to self._* state in a class owning a _lock must happen "
+        "under `with self._lock` (directly or via an always-locked helper)"
+    )
+
+    def check_file(self, ctx: FileContext, index: SymbolIndex) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        lock_attrs = _class_locks(cls)
+        if "_lock" not in lock_attrs:
+            return  # the contract applies to the canonical `_lock` idiom only
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        scans = {
+            name: _scan_method(fn, lock_attrs) for name, fn in methods.items()
+        }
+        safe = _guarded_methods(scans)
+        for name, scan in scans.items():
+            if name == "__init__" or name in safe:
+                continue
+            for attr, line, held in scan.writes:
+                if not held:
+                    yield Finding(
+                        path=str(ctx.path), line=line, checker=self.name,
+                        message=(
+                            f"{cls.name}.{name} writes self.{attr} outside "
+                            f"`with self._lock` (class owns _lock)"
+                        ),
+                    )
+
+
+@register_checker
+class LockOrderChecker(Checker):
+    """Cycles in the cross-module lock-acquisition graph."""
+
+    name = "lock-order"
+    description = (
+        "the cross-module lock-acquisition graph (lock held while another "
+        "is acquired, directly or through calls) must stay acyclic"
+    )
+
+    def check_project(self, index: SymbolIndex) -> Iterator[Finding]:
+        lock_ids = self._discover_locks(index)
+        edges = self._build_edges(index, lock_ids)
+        yield from self._report_cycles(edges)
+
+    # ------------------------------------------------------------------ #
+    # Lock discovery and identification
+    # ------------------------------------------------------------------ #
+
+    def _discover_locks(self, index: SymbolIndex) -> dict[str, set[str]]:
+        """Per-module: class lock attrs (``Cls.attr``) and module lock names."""
+        lock_ids: dict[str, set[str]] = {}
+        for ctx in index.files:
+            names = {f"{name}" for name in _module_locks(ctx.tree)}
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    for attr in _class_locks(node):
+                        names.add(f"{node.name}.{attr}")
+            if names:
+                lock_ids[ctx.module] = names
+        return lock_ids
+
+    def _lock_id(
+        self, fn: FunctionInfo, expr: ast.expr, lock_ids: dict[str, set[str]]
+    ) -> str | None:
+        known = lock_ids.get(fn.module, set())
+        attr = _self_attr(expr)
+        if attr is not None and fn.cls is not None and f"{fn.cls}.{attr}" in known:
+            return f"{fn.module}.{fn.cls}.{attr}"
+        if isinstance(expr, ast.Name) and expr.id in known:
+            return f"{fn.module}.{expr.id}"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Acquisition graph
+    # ------------------------------------------------------------------ #
+
+    def _acquired_closure(
+        self,
+        fn: FunctionInfo,
+        index: SymbolIndex,
+        lock_ids: dict[str, set[str]],
+        memo: dict[str, set[str]],
+        visiting: set[str],
+    ) -> set[str]:
+        """Every lock ``fn`` may acquire, following resolvable calls."""
+        if fn.qualname in memo:
+            return memo[fn.qualname]
+        if fn.qualname in visiting:
+            return set()  # recursion: partial answer, refined by the caller
+        visiting.add(fn.qualname)
+        acquired: set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    lock = self._lock_id(fn, item.context_expr, lock_ids)
+                    if lock:
+                        acquired.add(lock)
+        for callee, _line in fn.calls:
+            resolved = index.resolve(fn, callee)
+            if resolved is not None:
+                acquired |= self._acquired_closure(
+                    resolved, index, lock_ids, memo, visiting
+                )
+        visiting.discard(fn.qualname)
+        memo[fn.qualname] = acquired
+        return acquired
+
+    def _build_edges(
+        self, index: SymbolIndex, lock_ids: dict[str, set[str]]
+    ) -> dict[str, dict[str, tuple[str, int]]]:
+        """``L -> {M: (path, line)}`` acquisition-order edges with one site."""
+        memo: dict[str, set[str]] = {}
+        edges: dict[str, dict[str, tuple[str, int]]] = {}
+
+        def add_edge(held: str, inner: str, path: str, line: int) -> None:
+            if held != inner:
+                edges.setdefault(held, {}).setdefault(inner, (path, line))
+
+        for fn in index.functions.values():
+            self._walk_holding(fn, fn.node, [], index, lock_ids, memo, add_edge)
+        return edges
+
+    def _walk_holding(self, fn, node, held, index, lock_ids, memo, add_edge) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = []
+            for item in node.items:
+                lock = self._lock_id(fn, item.context_expr, lock_ids)
+                if lock:
+                    for outer in held:
+                        add_edge(outer, lock, str(fn.ctx.path), node.lineno)
+                    acquired.append(lock)
+            inner = held + acquired
+            for stmt in node.body:
+                self._walk_holding(fn, stmt, inner, index, lock_ids, memo, add_edge)
+            return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ) and node is not fn.node:
+            return
+        if isinstance(node, ast.Call) and held:
+            from ..index import call_name
+
+            callee = call_name(node.func)
+            resolved = index.resolve(fn, callee) if callee else None
+            if resolved is not None:
+                for lock in self._acquired_closure(
+                    resolved, index, lock_ids, memo, set()
+                ):
+                    for outer in held:
+                        add_edge(outer, lock, str(fn.ctx.path), node.lineno)
+        for child in ast.iter_child_nodes(node):
+            self._walk_holding(fn, child, held, index, lock_ids, memo, add_edge)
+
+    # ------------------------------------------------------------------ #
+    # Cycle reporting
+    # ------------------------------------------------------------------ #
+
+    def _report_cycles(
+        self, edges: dict[str, dict[str, tuple[str, int]]]
+    ) -> Iterator[Finding]:
+        seen: set[tuple[str, ...]] = set()
+        for start in sorted(edges):
+            for cycle in self._cycles_from(start, edges):
+                rotation = min(range(len(cycle)), key=lambda i: cycle[i])
+                canonical = tuple(cycle[rotation:] + cycle[:rotation])
+                if canonical in seen:
+                    continue
+                seen.add(canonical)
+                path, line = edges[cycle[0]][cycle[1 % len(cycle)]]
+                chain = " -> ".join(canonical + (canonical[0],))
+                yield Finding(
+                    path=path, line=line, checker=self.name,
+                    message=f"lock-order cycle (potential deadlock): {chain}",
+                )
+
+    def _cycles_from(
+        self, start: str, edges: dict[str, dict[str, tuple[str, int]]]
+    ) -> Iterable[list[str]]:
+        cycles: list[list[str]] = []
+        stack = [(start, [start])]
+        while stack:
+            node, trail = stack.pop()
+            for nxt in sorted(edges.get(node, ())):
+                if nxt == start:
+                    cycles.append(list(trail))
+                elif nxt not in trail and len(trail) < 8:
+                    stack.append((nxt, trail + [nxt]))
+        return cycles

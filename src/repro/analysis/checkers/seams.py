@@ -1,0 +1,90 @@
+"""Best-effort seam audit: swallowed exceptions must leave a trace.
+
+The repo's best-effort zones — the job journal, the disk cache, the trace
+fan-out — are allowed to absorb failures so the primary work proceeds, but
+the contract is that every absorbed failure increments a counter or is
+re-raised: silence is how partial outages go unnoticed for weeks.
+
+The checker flags ``except`` handlers whose body does nothing (``pass``,
+``continue``, ``...``) when either the handler is broad (``Exception``,
+``BaseException``, or bare) anywhere in the tree, or the handler — of any
+type — lives in a designated best-effort module.  Handlers that count,
+log, or re-raise have a non-trivial body and never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..index import FileContext, SymbolIndex
+from ..registry import Checker, register_checker
+
+#: Modules where even a narrow silent handler is a finding: these seams
+#: exist to absorb faults, so absorbing one silently defeats the design.
+BEST_EFFORT_MODULES = {
+    "repro.service.journal",
+    "repro.core.cache",
+    "repro.obs.trace",
+}
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _exception_names(node: ast.expr | None) -> list[str]:
+    if node is None:
+        return []  # bare except
+    if isinstance(node, ast.Tuple):
+        names = []
+        for elt in node.elts:
+            names.extend(_exception_names(elt))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a docstring or bare ``...`` is still silence
+        return False
+    return True
+
+
+@register_checker
+class SilentExceptChecker(Checker):
+    """Silent exception handlers in broad catches or best-effort zones."""
+
+    name = "silent-except"
+    description = (
+        "except handlers that swallow errors silently are findings: broad "
+        "catches (Exception/BaseException/bare) everywhere, any catch in "
+        "the best-effort zones (journal, disk cache, trace fan-out) — "
+        "count the failure on a metric or re-raise"
+    )
+
+    def check_file(self, ctx: FileContext, index: SymbolIndex) -> Iterator[Finding]:
+        in_zone = ctx.module in BEST_EFFORT_MODULES
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_silent(node.body):
+                continue
+            names = _exception_names(node.type)
+            broad = not names or any(name in BROAD_NAMES for name in names)
+            if broad or in_zone:
+                caught = ", ".join(names) if names else "everything (bare except)"
+                where = "best-effort zone" if in_zone and not broad else "broad catch"
+                yield Finding(
+                    path=str(ctx.path), line=node.lineno, checker=self.name,
+                    message=(
+                        f"silent except ({caught}) in {where}: increment a "
+                        f"counter or re-raise so the failure stays visible"
+                    ),
+                )

@@ -1,0 +1,219 @@
+"""Span/timer hygiene: observability contexts must survive exceptions.
+
+A span finished only on the straight-line path leaks the moment the traced
+code raises: the trace shows a span that never ended, and downstream tools
+(waterfalls, duration histograms) silently lose the one request that
+mattered — the failing one.  The repo's contract is that ``timed()`` is
+always a ``with`` context, and a manually-managed span from
+``start_span()`` is finished in a ``finally`` block or on both the success
+path and a broad exception path.
+
+Spans that *escape* the creating function — passed to another call (e.g.
+``activate(span)``), stored on ``self``, returned — have their lifecycle
+managed elsewhere and are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..index import FileContext, SymbolIndex, call_name
+from ..registry import Checker, register_checker
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _exception_names(node: ast.expr | None) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names = []
+        for elt in node.elts:
+            names.extend(_exception_names(elt))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _annotate(fn: ast.AST) -> tuple[dict[int, str], set[int]]:
+    """Per-node (by ``id``) execution region, plus nodes inside nested defs.
+
+    Regions: ``normal`` (straight-line), ``narrow``/``broad`` (inside an
+    except handler of that breadth), ``finally``.
+    """
+    regions: dict[int, str] = {}
+    nested: set[int] = set()
+
+    def visit(node: ast.AST, region: str, in_nested: bool) -> None:
+        regions[id(node)] = region
+        if in_nested:
+            nested.add(id(node))
+        if isinstance(node, ast.Try):
+            for stmt in list(node.body) + list(node.orelse):
+                visit(stmt, region, in_nested)
+            for handler in node.handlers:
+                names = _exception_names(handler.type)
+                broad = not names or any(n in BROAD_NAMES for n in names)
+                for stmt in handler.body:
+                    visit(stmt, "broad" if broad else "narrow", in_nested)
+            for stmt in node.finalbody:
+                visit(stmt, "finally", in_nested)
+            return
+        child_nested = in_nested or isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        for child in ast.iter_child_nodes(node):
+            visit(child, region, child_nested)
+
+    for child in ast.iter_child_nodes(fn):
+        visit(child, "normal", False)
+    return regions, nested
+
+
+def _parent_map(fn: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(fn):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+@register_checker
+class SpanHygieneChecker(Checker):
+    """Span/timed lifecycles that leak on exception paths."""
+
+    name = "span-hygiene"
+    description = (
+        "timed() must be a `with` context, and start_span() spans must "
+        "finish via try/finally or on both success and broad-exception "
+        "paths — success-path-only .finish() leaks the span when the "
+        "traced code raises"
+    )
+
+    def check_file(self, ctx: FileContext, index: SymbolIndex) -> Iterator[Finding]:
+        yield from self._check_timed(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_fn(ctx, node)
+
+    # ------------------------------------------------------------------ #
+    # timed() usage
+    # ------------------------------------------------------------------ #
+
+    def _check_timed(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == "repro.obs.timing":
+            return  # the defining module (docstring examples, internals)
+        managed: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or id(node) in managed:
+                continue
+            name = call_name(node.func)
+            if name and name.rsplit(".", 1)[-1] == "timed":
+                yield Finding(
+                    path=str(ctx.path), line=node.lineno, checker=self.name,
+                    message=(
+                        "timed() must be used as a context manager "
+                        "(`with timed(...) as timer:`)"
+                    ),
+                )
+
+    # ------------------------------------------------------------------ #
+    # start_span() lifecycles
+    # ------------------------------------------------------------------ #
+
+    def _check_fn(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        tracked = self._span_assignments(fn)
+        if not tracked:
+            return
+        regions, nested = _annotate(fn)
+        parents = _parent_map(fn)
+        escaped: set[str] = set()
+        rebound: set[str] = set()
+        finishes: dict[str, set[str]] = {}
+
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Name) and node.id in tracked):
+                continue
+            name = node.id
+            parent = parents.get(id(node))
+            if isinstance(node.ctx, ast.Store):
+                if not (
+                    isinstance(parent, ast.Assign)
+                    and id(parent) == tracked[name][1]
+                ):
+                    rebound.add(name)  # reassigned: lifecycle untrackable
+                continue
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                grand = parents.get(id(parent))
+                if (
+                    parent.attr == "finish"
+                    and isinstance(grand, ast.Call)
+                    and grand.func is parent
+                ):
+                    if id(grand) in nested:
+                        escaped.add(name)  # closure-held finish: managed elsewhere
+                    else:
+                        finishes.setdefault(name, set()).add(
+                            regions.get(id(grand), "normal")
+                        )
+                continue  # other attribute access (set_attr, .context, ...)
+            escaped.add(name)  # passed along, returned, stored, compared, ...
+
+        for name, (line, _assign_id) in sorted(tracked.items()):
+            if name in escaped or name in rebound:
+                continue
+            regs = finishes.get(name, set())
+            if "finally" in regs:
+                continue
+            if "broad" in regs and regs - {"broad"}:
+                continue  # success path + broad exception path both finish
+            problem = (
+                "is never finished" if not regs
+                else "is finished only on the success path"
+            )
+            yield Finding(
+                path=str(ctx.path), line=line, checker=self.name,
+                message=(
+                    f"span {name!r} {problem}; close it in try/finally or "
+                    f"finish it in a broad except handler too"
+                ),
+            )
+
+    @staticmethod
+    def _span_assignments(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> dict[str, tuple[int, int]]:
+        """``name -> (lineno, id(assign))`` for ``x = start_span(...)``."""
+        tracked: dict[str, tuple[int, int]] = {}
+
+        def find(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+                ):
+                    continue  # nested scopes check themselves
+                if (
+                    isinstance(child, ast.Assign)
+                    and len(child.targets) == 1
+                    and isinstance(child.targets[0], ast.Name)
+                    and isinstance(child.value, ast.Call)
+                ):
+                    cname = call_name(child.value.func)
+                    if cname and cname.rsplit(".", 1)[-1] == "start_span":
+                        tracked[child.targets[0].id] = (child.lineno, id(child))
+                find(child)
+
+        find(fn)
+        return tracked

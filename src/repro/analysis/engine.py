@@ -1,0 +1,136 @@
+"""Analysis driver: collect files, build the index, run checkers, filter.
+
+Two passes, mirroring how the checkers are written: every file is parsed
+once into a :class:`~repro.analysis.index.FileContext` and folded into the
+shared :class:`~repro.analysis.index.SymbolIndex`, then each selected
+checker runs its per-file pass over every file and its project pass over
+the index.  Suppression comments are applied last, so the report can show
+what was acknowledged as well as what failed.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+
+from .findings import Finding, is_suppressed, parse_suppressions
+from .index import FileContext, SymbolIndex
+from .registry import checker_names, get_checker
+
+
+@dataclasses.dataclass
+class AnalysisReport:
+    """Everything one ``analyze`` run produced."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files: int
+    checkers: list[str]
+
+    @property
+    def clean(self) -> bool:
+        """True when no unsuppressed findings remain (exit code 0)."""
+        return not self.findings
+
+
+def _iter_py_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    # De-duplicate while keeping order (a file listed twice analyzes once).
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name for ``path`` (``src``-rooted when possible)."""
+    resolved = path.resolve()
+    parts = list(resolved.parts)
+    for anchor in ("src",):
+        if anchor in parts:
+            rel = parts[parts.index(anchor) + 1:]
+            break
+    else:
+        rel = [resolved.name]
+    if not rel:
+        rel = [resolved.name]
+    rel[-1] = rel[-1].removesuffix(".py")
+    if rel[-1] == "__init__":
+        rel = rel[:-1] or [resolved.parent.name]
+    return ".".join(rel)
+
+
+def _select_checkers(select: list[str] | None, ignore: list[str] | None) -> list[str]:
+    known = checker_names()
+    chosen = list(select) if select else known
+    unknown = [name for name in chosen + list(ignore or []) if name not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown checker id(s): {', '.join(sorted(set(unknown)))} "
+            f"(known: {', '.join(known)})"
+        )
+    ignored = set(ignore or [])
+    return [name for name in chosen if name not in ignored]
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> AnalysisReport:
+    """Run the selected checkers over ``paths`` and return the report.
+
+    ``paths`` may mix files and directories (directories recurse into
+    ``*.py``).  Raises :class:`ValueError` for unknown checker ids and
+    :class:`FileNotFoundError` for missing paths — usage errors, distinct
+    from findings.
+    """
+    resolved_paths = [Path(p) for p in paths]
+    for path in resolved_paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    names = _select_checkers(select, ignore)
+
+    index = SymbolIndex()
+    findings: list[Finding] = []
+    for path in _iter_py_files(resolved_paths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            findings.append(Finding(
+                path=str(path), line=error.lineno or 1, checker="syntax-error",
+                message=f"file does not parse: {error.msg}",
+            ))
+            continue
+        index.add_file(FileContext(
+            path=path, module=_module_name(path), source=source,
+            tree=tree, suppressions=parse_suppressions(source),
+        ))
+
+    for name in names:
+        checker = get_checker(name)
+        for ctx in index.files:
+            findings.extend(checker.check_file(ctx, index))
+        findings.extend(checker.check_project(index))
+
+    suppressions_by_path = {str(ctx.path): ctx.suppressions for ctx in index.files}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        marks = suppressions_by_path.get(finding.path, {})
+        (suppressed if is_suppressed(finding, marks) else kept).append(finding)
+    return AnalysisReport(
+        findings=sorted(kept), suppressed=sorted(suppressed),
+        files=len(index.files), checkers=names,
+    )

@@ -1,0 +1,83 @@
+"""Structured findings and ``# repro: ignore[...]`` suppression comments.
+
+A checker reports :class:`Finding` records — file, line, checker id,
+severity, message — never raw strings, so the engine can sort, filter,
+and render them uniformly (table for humans, JSON for tooling).
+
+Suppression is explicit and per-checker: a ``# repro: ignore[checker-id]``
+comment on the offending line (or on a comment-only line directly above
+it) downgrades matching findings from failures to acknowledged noise.
+Suppressed findings are still collected — ``repro analyze`` can show them —
+but they do not affect the exit code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+
+#: ``# repro: ignore[id, id2]`` — trailing prose after the bracket is the
+#: conventional place for the justification and is not parsed.
+SUPPRESS_PATTERN = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation anchored to a source location."""
+
+    path: str
+    line: int
+    checker: str
+    message: str
+    severity: str = "error"
+
+    def location(self) -> str:
+        """``path:line`` for terminal output (clickable in most editors)."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (stable key order via dataclass field order)."""
+        return dataclasses.asdict(self)
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> checker ids suppressed on that line.
+
+    A suppression on a code line guards that line; on a comment-only line
+    it guards the next line (the usual place when the code line is long).
+    """
+    suppressions: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_PATTERN.search(text)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        before_comment = text.split("#", 1)[0].strip()
+        target = lineno if before_comment else lineno + 1
+        suppressions.setdefault(target, set()).update(ids)
+    return suppressions
+
+
+def is_suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
+    """Whether ``finding`` is covered by a parsed suppression map."""
+    ids = suppressions.get(finding.line, set())
+    return finding.checker in ids or "all" in ids
+
+
+def format_table(findings: list[Finding]) -> str:
+    """Human-readable one-line-per-finding rendering."""
+    rows = [
+        f"{f.location()}: [{f.checker}] {f.severity}: {f.message}"
+        for f in sorted(findings)
+    ]
+    return "\n".join(rows)
+
+
+def format_json(findings: list[Finding], suppressed: list[Finding]) -> str:
+    """Machine-readable rendering for tooling and CI artifacts."""
+    payload = {
+        "findings": [f.to_dict() for f in sorted(findings)],
+        "suppressed": [f.to_dict() for f in sorted(suppressed)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

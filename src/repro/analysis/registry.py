@@ -1,0 +1,110 @@
+"""Checker registry: the codec-registry idiom applied to static analysis.
+
+Checkers self-register with :func:`register_checker` (a class decorator,
+exactly like ``@register_codec``), the engine looks them up by id, and
+:func:`describe_checkers` renders the catalog for ``repro analyze --list``
+and the generated docs.  Registration validates the contract up front —
+subclass, id pattern, non-empty description — so a malformed checker fails
+at import time, not mid-analysis.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .findings import Finding
+    from .index import FileContext, SymbolIndex
+
+#: Checker ids are short kebab-case slugs: usable in suppression comments
+#: and ``--select`` lists without quoting or escaping.
+_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9-]{2,32}$")
+
+_REGISTRY: dict[str, "Checker"] = {}
+_lock = threading.Lock()
+
+
+class Checker:
+    """Base class every registered checker must subclass.
+
+    A checker implements one or both passes: :meth:`check_file` runs once
+    per parsed file, :meth:`check_project` runs once over the whole
+    :class:`~repro.analysis.index.SymbolIndex` (for cross-module rules such
+    as the lock-acquisition graph).  Both default to no findings.
+    """
+
+    #: Stable checker id (kebab-case) used in findings, suppressions,
+    #: and ``--select``/``--ignore``.
+    name: str = ""
+    #: One-line summary for ``repro analyze --list`` and docs.
+    description: str = ""
+    #: Default severity stamped on this checker's findings.
+    severity: str = "error"
+
+    def check_file(self, ctx: "FileContext", index: "SymbolIndex") -> Iterable["Finding"]:
+        """Per-file pass; yield findings for ``ctx``."""
+        return ()
+
+    def check_project(self, index: "SymbolIndex") -> Iterable["Finding"]:
+        """Whole-project pass; yield findings spanning multiple files."""
+        return ()
+
+
+def register_checker(cls: type) -> type:
+    """Class decorator registering a :class:`Checker` subclass by its id."""
+    if not (isinstance(cls, type) and issubclass(cls, Checker)):
+        raise TypeError(f"register_checker expects a Checker subclass, got {cls!r}")
+    name = getattr(cls, "name", "")
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        raise ValueError(
+            f"checker id {name!r} must match {_NAME_PATTERN.pattern}"
+        )
+    if not getattr(cls, "description", ""):
+        raise ValueError(f"checker {name!r} needs a one-line description")
+    with _lock:
+        existing = _REGISTRY.get(name)
+        if existing is not None and type(existing) is not cls:
+            raise ValueError(f"duplicate checker id {name!r}")
+        _REGISTRY[name] = cls()
+    return cls
+
+
+def get_checker(name: str) -> Checker:
+    """The registered checker instance for ``name`` (shared, stateless)."""
+    _ensure_builtins()
+    with _lock:
+        try:
+            return _REGISTRY[name]
+        except KeyError:
+            known = ", ".join(sorted(_REGISTRY)) or "none"
+            raise ValueError(
+                f"unknown checker {name!r} (known: {known})"
+            ) from None
+
+
+def checker_names() -> list[str]:
+    """Every registered checker id, sorted."""
+    _ensure_builtins()
+    with _lock:
+        return sorted(_REGISTRY)
+
+
+def describe_checkers() -> list[dict]:
+    """Catalog records (id, severity, description) for docs and ``--list``."""
+    _ensure_builtins()
+    with _lock:
+        return [
+            {
+                "name": name,
+                "severity": _REGISTRY[name].severity,
+                "description": _REGISTRY[name].description,
+            }
+            for name in sorted(_REGISTRY)
+        ]
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in checkers so first lookup sees a full registry."""
+    from . import checkers  # noqa: F401  (import side effect registers them)

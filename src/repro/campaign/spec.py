@@ -147,7 +147,7 @@ class CampaignGrid:
         axes = self.axes()
         keys = [key for key, _ in axes]
         for combo in itertools.product(*(values for _, values in axes)):
-            merged = {**self.params, **dict(zip(keys, combo))}
+            merged = {**self.params, **dict(zip(keys, combo, strict=True))}
             if stages is not None:
                 source = {k: v for k, v in merged.items() if k in CODEC_SOURCE_PARAMS}
                 yield {
@@ -226,9 +226,11 @@ class CampaignSpec:
         # Only present when set, so the digests of every pre-deadline spec
         # are unchanged — and a deadline does not change *what* is computed,
         # but it bounds each attempt, which is execution policy worth pinning
-        # in the campaign identity the way shard layout is not.
-        if self.deadline_s is not None:
-            canonical["deadline_s"] = self.deadline_s
+        # in the campaign identity the way shard layout is not.  That makes
+        # these reads a deliberate exception to the digest-exclusion rule
+        # (which targets per-job digests, where deadline_s must stay out).
+        if self.deadline_s is not None:  # repro: ignore[digest-purity]
+            canonical["deadline_s"] = self.deadline_s  # repro: ignore[digest-purity]
         return canonical
 
 

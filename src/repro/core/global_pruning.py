@@ -162,7 +162,7 @@ def select_sensitive_channels(
     total_channels = len(entries)
     num_global_sensitive = int(np.ceil(beta * total_channels))
     globally_sensitive: dict[str, set[int]] = {name: set() for name in channel_scores}
-    for score, layer_name, index in entries[:num_global_sensitive]:
+    for _score, layer_name, index in entries[:num_global_sensitive]:
         globally_sensitive[layer_name].add(index)
 
     masks: dict[str, np.ndarray] = {}

@@ -172,7 +172,7 @@ class BenchmarkSuite:
                         ),
                     )
                     for model_name in models
-                    for lo, hi in zip(bounds, bounds[1:])
+                    for lo, hi in zip(bounds, bounds[1:], strict=False)
                     if hi > lo
                 ]
                 for model_name, future in futures:

@@ -158,7 +158,7 @@ def _compress_model(
         layer_ints = {name: lw.int_weights for name, lw in weights.items()}
         scores = {name: lw.channel_scores for name, lw in weights.items()}
         result = global_binary_prune(layer_ints, scores, preset=preset)
-        for name, pruned in result.pruned_layers.items():
+        for pruned in result.pruned_layers.values():
             kls.append(pruned.kl_divergence())
             mses.append(pruned.mse())
             stored_bits += pruned.storage_bits()

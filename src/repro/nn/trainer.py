@@ -103,7 +103,7 @@ class MLPClassifier:
         rng = np.random.default_rng(seed)
         self.weights: list[np.ndarray] = []
         self.biases: list[np.ndarray] = []
-        for fan_in, fan_out in zip(self.sizes[:-1], self.sizes[1:]):
+        for fan_in, fan_out in zip(self.sizes[:-1], self.sizes[1:], strict=True):
             limit = np.sqrt(6.0 / (fan_in + fan_out))
             self.weights.append(rng.uniform(-limit, limit, size=(fan_out, fan_in)))
             self.biases.append(np.zeros(fan_out))
@@ -113,7 +113,7 @@ class MLPClassifier:
         """Logits for a batch of inputs."""
         hidden = inputs
         last = len(self.weights) - 1
-        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases, strict=True)):
             hidden = F.linear(hidden, weight, bias)
             if index != last:
                 hidden = F.relu(hidden)
@@ -177,7 +177,7 @@ class MLPClassifier:
         pre_activations = []
         hidden = inputs
         last = len(self.weights) - 1
-        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases, strict=True)):
             pre = F.linear(hidden, weight, bias)
             pre_activations.append(pre)
             hidden = F.relu(pre) if index != last else pre

@@ -106,7 +106,7 @@ class _Metric:
         return tuple(str(labels[name]) for name in self.labelnames)
 
     def _series_labels(self, key: tuple[str, ...]) -> dict[str, str]:
-        return dict(zip(self.labelnames, key))
+        return dict(zip(self.labelnames, key, strict=True))
 
     def samples(self) -> list[tuple[str, dict, float]]:
         """``(sample name, labels, value)`` triples for text exposition."""
@@ -217,7 +217,7 @@ class Histogram(_Metric):
         with self._lock:
             for key, series in self._series.items():
                 labels = self._series_labels(key)
-                for bound, count in zip(self.buckets, series["counts"]):
+                for bound, count in zip(self.buckets, series["counts"], strict=True):
                     out.append(
                         (f"{self.name}_bucket",
                          {**labels, "le": _format_value(bound)}, count)
@@ -236,7 +236,7 @@ class Histogram(_Metric):
                     "labels": self._series_labels(key),
                     "buckets": {
                         _format_value(bound): count
-                        for bound, count in zip(self.buckets, entry["counts"])
+                        for bound, count in zip(self.buckets, entry["counts"], strict=True)
                     },
                     "sum": float(entry["sum"]),
                     "count": int(entry["count"]),

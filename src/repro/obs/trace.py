@@ -263,6 +263,7 @@ class TraceLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self.write_errors = 0
+        self.read_errors = 0
 
     def __call__(self, record: dict) -> None:
         try:
@@ -290,7 +291,7 @@ class TraceLog:
                 try:
                     records.append(json.loads(line))
                 except json.JSONDecodeError:
-                    continue
+                    self.read_errors += 1
         return records
 
 
@@ -300,6 +301,7 @@ class SpanRecorder:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._sinks: list = []
+        self.sink_errors = 0
         self.buffer = TraceBuffer()
         self._sinks.append(self.buffer)
 
@@ -321,7 +323,9 @@ class SpanRecorder:
             try:
                 sink(record)
             except Exception:
-                continue  # a broken sink must never break the traced code
+                # A broken sink must never break the traced code, but the
+                # swallow has to stay visible somewhere.
+                self.sink_errors += 1
 
 
 _recorder_lock = threading.Lock()

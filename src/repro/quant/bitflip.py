@@ -55,7 +55,7 @@ class BitFlipResult(ReconstructionMetricsMixin):
         total = 0
         channels, num_groups = self.inherent_zero_columns.shape
         for channel in range(channels):
-            for group in range(num_groups):
+            for _group in range(num_groups):
                 if self.pruned_channel_mask[channel]:
                     total += group_storage_bits(self.group_size, self.num_columns, self.bits)
                 else:

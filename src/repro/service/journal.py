@@ -171,9 +171,10 @@ class JobJournal:
                     )
                     + "\n"
                 )
-        except (OSError, ValueError, TypeError):
-            # Quarantine is itself best-effort; the counters still tell the
-            # story when even that write fails.
+        # Quarantine is itself best-effort; ``self.quarantined`` and the
+        # quarantine counter were already incremented above, so the failure
+        # stays visible even when this write is swallowed.
+        except (OSError, ValueError, TypeError):  # repro: ignore[silent-except]
             pass
 
     def records(self) -> Iterator[dict]:

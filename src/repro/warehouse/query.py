@@ -313,7 +313,7 @@ def pareto_front(
     candidates.sort(key=lambda item: (item[0], item[1], item[2]))
     frontier: list[dict] = []
     best_y = float("inf")
-    for cost_x, cost_y, _, row in candidates:
+    for _cost_x, cost_y, _, row in candidates:
         if cost_y < best_y:
             frontier.append(row)
             best_y = cost_y

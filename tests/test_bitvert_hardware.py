@@ -33,14 +33,14 @@ class TestScheduler:
         column = np.array([0, 1, 0, 0, 1, 0, 0, 0])
         schedule = schedule_column(column)
         assert not schedule.invert
-        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid, strict=True) if valid}
         assert selected == {1, 4}
 
     def test_majority_ones_select_zero_positions(self):
         column = np.array([1, 1, 1, 0, 1, 1, 0, 1])
         schedule = schedule_column(column)
         assert schedule.invert
-        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid, strict=True) if valid}
         assert selected == {3, 6}
 
     def test_exactly_half_not_inverted(self):
@@ -53,7 +53,7 @@ class TestScheduler:
         # The paper's worst case: effectual bits at positions {4,5,6,7}.
         column = np.array([0, 0, 0, 0, 1, 1, 1, 1])
         schedule = schedule_column(column)
-        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid, strict=True) if valid}
         assert selected == {4, 5, 6, 7}
 
     def test_rejects_odd_sub_group(self):
@@ -72,10 +72,10 @@ class TestScheduler:
         expected = set(np.flatnonzero(column == target_symbol)) if target_symbol in column else set()
         if len(expected) > 4:
             expected = set()  # cannot happen: minority is <= 4 by definition
-        selected = {index for index, valid in zip(schedule.selections, schedule.valid) if valid}
+        selected = {index for index, valid in zip(schedule.selections, schedule.valid, strict=True) if valid}
         assert selected == expected
         # Each lane's selection stays inside its sliding window.
-        for lane, (index, valid) in enumerate(zip(schedule.selections, schedule.valid)):
+        for lane, (index, valid) in enumerate(zip(schedule.selections, schedule.valid, strict=True)):
             if valid:
                 assert lane <= index <= lane + 4
 

@@ -212,7 +212,7 @@ class TestAggregationHelpers:
             ]
         }
         parsed = list(csv.reader(io.StringIO(report_csv(report))))
-        record = dict(zip(parsed[0], parsed[1]))
+        record = dict(zip(parsed[0], parsed[1], strict=True))
         assert record["params.label"] == "a,b"
         assert record["result.note"] == 'x\nand "more"\rtext'
         assert record["result.mse"] == ""

@@ -48,7 +48,7 @@ def fleet():
         servers.append(server)
         threads.append(thread)
     yield [f"http://127.0.0.1:{server.port}" for server in servers]
-    for server, thread in zip(servers, threads):
+    for server, thread in zip(servers, threads, strict=False):
         server.close()
         thread.join(timeout=10)
 

@@ -326,7 +326,7 @@ class TestChaosDispatchEndToEnd:
         finally:
             for proxy in proxies:
                 proxy.stop()
-            for server, thread in zip(servers, threads):
+            for server, thread in zip(servers, threads, strict=False):
                 server.close()
                 thread.join(timeout=10)
 

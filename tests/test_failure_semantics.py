@@ -28,7 +28,11 @@ from repro.service import (
     create_server,
     job_cancelled,
 )
-from repro.service.client import ServiceUnavailable, _retry_after_hint
+from repro.service.client import (
+    ServiceRequestError,
+    ServiceUnavailable,
+    _retry_after_hint,
+)
 from repro.service.registry import build_default_registry
 
 
@@ -195,7 +199,7 @@ class TestDeadlineOverHttp:
                 record = client.job(record["job_id"])
             assert record["state"] == "failed" and "deadline" in record["error"]
 
-            with pytest.raises(Exception) as excinfo:
+            with pytest.raises(ServiceRequestError) as excinfo:
                 client.submit("echo", deadline_s=-1)
             assert "deadline_s" in str(excinfo.value)
         finally:
@@ -379,7 +383,7 @@ class TestJitteredPolling:
 
         assert len(sleeps) >= 8
         assert sleeps[0] == pytest.approx(0.05)
-        for previous, current in zip(sleeps, sleeps[1:]):
+        for previous, current in zip(sleeps, sleeps[1:], strict=False):
             assert current == pytest.approx(min(previous * 1.7, 0.4))
         assert max(sleeps) <= 0.4 + 1e-9
 

@@ -258,7 +258,7 @@ class TestFederatedSpanTree:
             )
             stats = dispatcher.run()
         finally:
-            for server, thread in zip(servers, threads):
+            for server, thread in zip(servers, threads, strict=False):
                 server.close()
                 thread.join(timeout=10)
 

@@ -35,7 +35,8 @@ def assert_search_matches(groups: np.ndarray, num_columns: int, bits: int = 8) -
     reference = zero_point_shift_groups_reference(groups, num_columns, bits=bits)
     fast = zero_point_shift_groups(groups, num_columns, bits=bits)
     for name, ref, new in zip(
-        ("values", "num_redundant", "num_sparse", "constants"), reference, fast
+        ("values", "num_redundant", "num_sparse", "constants"), reference, fast,
+        strict=True,
     ):
         assert new.dtype == ref.dtype, name
         assert np.array_equal(new, ref), f"{name} diverged from the reference"
