@@ -6,6 +6,7 @@ Snapshots, as plain JSON:
 * the public symbols of :mod:`repro.codecs` (``__all__``),
 * every registered codec with its version and parameter names,
 * the versioned HTTP route table (``repro.service.V1_ROUTES``),
+* the gateway's route table (``repro.gateway.GATEWAY_ROUTES``),
 * the scenario names of the default registry.
 
 and compares the snapshot against the committed ``API_SURFACE.json``
@@ -35,10 +36,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 def current_surface() -> dict:
     from repro import codecs
+    from repro.gateway import GATEWAY_ROUTES
     from repro.service import API_VERSION, V1_ROUTES, build_default_registry
 
     return {
         "api_version": API_VERSION,
+        "gateway_routes": sorted(GATEWAY_ROUTES),
         "codecs": {
             schema["name"]: {
                 "version": schema["version"],

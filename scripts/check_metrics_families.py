@@ -102,10 +102,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FAMILY",
         help="additional required family (repeatable)",
     )
+    parser.add_argument(
+        "--no-default-families",
+        action="store_true",
+        help="check only --require families (for non-node scrapes, "
+        "e.g. the gateway, which serves different families)",
+    )
     parser.add_argument("--timeout", type=float, default=10.0)
     args = parser.parse_args(argv)
 
-    families = list(DEFAULT_FAMILIES) + args.require
+    families = ([] if args.no_default_families else list(DEFAULT_FAMILIES)) + args.require
+    if not families:
+        print("error: no families to check", file=sys.stderr)
+        return 1
     try:
         text = scrape(args.url, args.timeout)
     except (urllib.error.URLError, OSError) as error:

@@ -144,7 +144,17 @@ class CampaignDispatcher:
         client_factory=ServiceClient,
         client_options: dict | None = None,
         ingest_db: str | None = None,
+        gateway: str | None = None,
     ):
+        # Gateway mode: one front-door URL replaces the node list — the
+        # gateway routes each cell by content digest, so the dispatcher's
+        # own load balancing degenerates to a single "node" while routing,
+        # failover, and cache affinity happen behind the URL.
+        self.gateway = gateway.rstrip("/") if gateway else None
+        if self.gateway is not None:
+            if endpoints:
+                raise ValueError("pass either endpoints or gateway=, not both")
+            endpoints = [self.gateway]
         if not endpoints:
             raise ValueError("at least one service endpoint is required")
         if max_inflight < 1:
@@ -439,7 +449,7 @@ class CampaignDispatcher:
             "campaign": self.spec.name,
             "spec_digest": self.plan.spec_digest(),
             "run_dir": str(self.run_dir),
-            "mode": "dispatch",
+            "mode": "gateway" if self.gateway is not None else "dispatch",
             "trace_id": self._root_span.trace_id,
             "nodes": [node.summary() for node in self.nodes],
             "total_cells": len(self.plan.jobs),

@@ -171,6 +171,75 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reject new jobs with 429 once N are queued/running (backpressure)",
     )
     serve_parser.add_argument("--verbose", action="store_true", help="log every request")
+    serve_parser.add_argument(
+        "--register",
+        default=None,
+        metavar="URL",
+        help="register with this `repro gateway` and heartbeat; the gateway "
+        "then routes work here by content digest and replays this node's "
+        "unfinished jobs elsewhere if it dies",
+    )
+    serve_parser.add_argument(
+        "--node-url",
+        default=None,
+        metavar="URL",
+        help="the URL the gateway should reach this node at "
+        "(default: http://<host>:<port> as served)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="gateway heartbeat/journal-flush period (default: %(default)s)",
+    )
+
+    gateway_parser = subparsers.add_parser(
+        "gateway",
+        help="front-door gateway: digest routing, node registry, journal "
+        "replication + failover, tenant quotas",
+    )
+    gateway_parser.add_argument("--host", default="127.0.0.1")
+    gateway_parser.add_argument("--port", type=int, default=8100)
+    gateway_parser.add_argument(
+        "--state",
+        default=None,
+        metavar="DIR",
+        help="replica-journal directory (default: an ephemeral temp dir — "
+        "failover state does not survive a gateway restart without this)",
+    )
+    gateway_parser.add_argument(
+        "--keys",
+        default=None,
+        metavar="FILE",
+        help="tenant keys file enabling Bearer auth + per-tenant quotas "
+        "(see docs/gateway.md for the format)",
+    )
+    gateway_parser.add_argument(
+        "--suspect-after",
+        type=float,
+        default=3.0,
+        metavar="SECONDS",
+        help="missed-heartbeat window before a node stops receiving new work",
+    )
+    gateway_parser.add_argument(
+        "--dead-after",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="silence before a node is declared dead and its unfinished "
+        "jobs are replayed onto survivors",
+    )
+    gateway_parser.add_argument(
+        "--node-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request timeout when proxying to a node",
+    )
+    gateway_parser.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
 
     campaign_parser = subparsers.add_parser(
         "campaign", help="declarative experiment campaigns (run/resume/report)"
@@ -242,9 +311,24 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_dispatch.add_argument(
         "--nodes",
         nargs="+",
-        required=True,
+        default=None,
         metavar="URL",
         help="service endpoints, e.g. http://host-a:8000 http://host-b:8000",
+    )
+    campaign_dispatch.add_argument(
+        "--gateway",
+        default=None,
+        metavar="URL",
+        help="dispatch through a `repro gateway` front door instead of "
+        "--nodes: the gateway routes each cell by content digest and "
+        "handles node failover transparently",
+    )
+    campaign_dispatch.add_argument(
+        "--api-key",
+        default=None,
+        metavar="KEY",
+        help="tenant API key sent as `Authorization: Bearer` "
+        "(gateways with a --keys file require one)",
     )
     campaign_dispatch.add_argument(
         "--run-dir",
@@ -544,6 +628,10 @@ def _serve(args: argparse.Namespace) -> int:
         signals_seen["count"] += 1
         if signals_seen["count"] > 1:
             os._exit(1)
+        # Readiness goes false *before* the listener stops: a load balancer
+        # (or the gateway) polling GET /v1/readyz sees "draining" while
+        # in-flight work finishes.
+        server.begin_drain()
         threading.Thread(target=server.shutdown, daemon=True).start()
 
     graceful = True
@@ -577,11 +665,37 @@ def _serve(args: argparse.Namespace) -> int:
         "/v1/results /v1/cache/stats /v1/metrics  "
         "(Ctrl-C / SIGTERM for graceful shutdown)"
     )
+    agent = None
+    if args.register:
+        from .gateway import GatewayAgent
+        from .service.client import ServiceError
+
+        node_url = args.node_url or f"http://{host}:{port}"
+        agent = GatewayAgent(
+            args.register,
+            node_url,
+            server,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+        try:
+            agent.start()
+        except ServiceError as error:
+            # A refused registration (registry skew, gateway down) must be
+            # loud: an unregistered node receives no gateway traffic.
+            print(f"error: gateway registration failed: {error}", file=sys.stderr)
+            server.close(wait=False)
+            return 1
+        print(
+            f"  gateway: registered as {agent.node_id} at {args.register} "
+            f"(heartbeat every {args.heartbeat_interval:g}s)"
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         graceful = False
     finally:
+        if agent is not None:
+            agent.stop()
         if graceful:
             print("shutting down: draining running jobs ...")
             drain = server.graceful_close()
@@ -596,6 +710,73 @@ def _serve(args: argparse.Namespace) -> int:
             )
         else:
             server.close(wait=False)
+    return 0
+
+
+def _gateway(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from .gateway import create_gateway
+
+    try:
+        server = create_gateway(
+            host=args.host,
+            port=args.port,
+            state_dir=args.state,
+            keys_file=args.keys,
+            suspect_after=args.suspect_after,
+            dead_after=args.dead_after,
+            node_timeout=args.node_timeout,
+            verbose=args.verbose,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    # Same two-stage signal contract as `repro serve`: first SIGTERM/SIGINT
+    # drains (readyz goes 503, the listener stops), a second one aborts.
+    signals_seen = {"count": 0}
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal API
+        signals_seen["count"] += 1
+        if signals_seen["count"] > 1:
+            os._exit(1)
+        server.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signame in ("SIGTERM", "SIGINT"):
+        try:
+            signal.signal(getattr(signal, signame), _on_signal)
+        except (ValueError, OSError, AttributeError):
+            pass  # non-main thread or exotic platform
+
+    host, port = server.server_address[0], server.port
+    print(f"repro gateway listening on http://{host}:{port}")
+    print(
+        f"  registry digest: {server.registry_digest[:12]}  "
+        f"suspect/dead after: {args.suspect_after:g}s/{args.dead_after:g}s"
+    )
+    print(f"  replica state: {server.replicas.directory}")
+    if server.quotas is not None:
+        names = ", ".join(server.quotas.tenant_names)
+        print(f"  tenants: {names} (Bearer auth required)")
+    print(
+        "  nodes register with: repro serve --register "
+        f"http://{host}:{port}  (Ctrl-C / SIGTERM for graceful shutdown)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        counts = server.nodes.counts()
+        server.close()
+        print(
+            f"gateway shut down ({counts.get('healthy', 0)} healthy node(s) "
+            "left registered; they keep serving direct traffic)"
+        )
     return 0
 
 
@@ -721,16 +902,25 @@ def _campaign_dispatch(args: argparse.Namespace) -> int:
     )
     from .service.client import ServiceError
 
+    if bool(args.nodes) == bool(args.gateway):
+        print(
+            "error: pass either --nodes URL... or --gateway URL (not both)",
+            file=sys.stderr,
+        )
+        return 1
+    client_options = {"api_key": args.api_key} if args.api_key else None
     try:
         spec = load_spec(args.spec)
         run_dir = args.run_dir or f"runs/{spec.name}-{spec.digest()[:12]}"
         dispatcher = CampaignDispatcher(
             spec,
-            endpoints=args.nodes,
+            endpoints=args.nodes or [],
             run_dir=run_dir,
             max_inflight=args.max_inflight,
             poll_interval=args.poll_interval,
             ingest_db=args.ingest,
+            gateway=args.gateway,
+            client_options=client_options,
         )
         stats = dispatcher.run()
     except (FileNotFoundError, ValueError) as error:
@@ -754,9 +944,13 @@ def _campaign_dispatch(args: argparse.Namespace) -> int:
             print(f"  {job.cell}: {last_line}", file=sys.stderr)
         return 1
 
+    fleet = (
+        "via gateway"
+        if stats.get("mode") == "gateway"
+        else f"over {len(stats['nodes'])} node(s)"
+    )
     print(
-        f"campaign {stats['campaign']!r} dispatched over "
-        f"{len(stats['nodes'])} node(s): "
+        f"campaign {stats['campaign']!r} dispatched {fleet}: "
         f"{stats['executed']} run, {stats['skipped_checkpointed']} checkpointed, "
         f"{stats['total_cells']} total cells in {stats['elapsed_seconds']:.1f}s"
     )
@@ -1145,6 +1339,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  ablations")
         print("  all")
+        print("  gateway (front-door routing, node registry, failover, quotas)")
         print("  campaign (run/resume/report/dispatch declarative campaign specs)")
         print("  warehouse (ingest/query/pareto over the results warehouse)")
         print("  codec (run/list composable compression codecs)")
@@ -1174,6 +1369,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "gateway":
+        return _gateway(args)
 
     if args.command == "campaign":
         return _campaign(args)

@@ -1,0 +1,52 @@
+"""repro.gateway — decentralized control plane for a repro fleet.
+
+One gateway process fronts any number of ``repro serve`` nodes: nodes
+self-register and heartbeat (:mod:`.registry`, :mod:`.agent`), submissions
+route by content digest over a consistent-hash ring (:mod:`.ring`) so
+repeated work lands on the node whose cache holds it, journals replicate to
+the gateway (:mod:`.replication`) so a SIGKILLed node's unfinished jobs
+replay onto survivors, and tenants are metered with API keys and quotas
+(:mod:`.quotas`).  See ``docs/gateway.md`` for the full tour.
+"""
+
+from .agent import GatewayAgent
+from .quotas import (
+    ANONYMOUS_TENANT,
+    QuotaExceeded,
+    Tenant,
+    TenantQuotas,
+    UnknownKeyError,
+    load_keys_file,
+)
+from .registry import (
+    Node,
+    NodeRegistry,
+    RegistrySkewError,
+    UnknownNodeError,
+    compute_registry_digest,
+    node_id_for_url,
+)
+from .replication import ReplicaStore
+from .ring import HashRing
+from .server import GATEWAY_ROUTES, GatewayServer, create_gateway
+
+__all__ = [
+    "ANONYMOUS_TENANT",
+    "GATEWAY_ROUTES",
+    "GatewayAgent",
+    "GatewayServer",
+    "HashRing",
+    "Node",
+    "NodeRegistry",
+    "QuotaExceeded",
+    "RegistrySkewError",
+    "ReplicaStore",
+    "Tenant",
+    "TenantQuotas",
+    "UnknownKeyError",
+    "UnknownNodeError",
+    "compute_registry_digest",
+    "create_gateway",
+    "load_keys_file",
+    "node_id_for_url",
+]

@@ -1,0 +1,1033 @@
+"""The gateway front door: one URL that routes, replicates, and fails over.
+
+``repro gateway`` serves the same submission surface as a node
+(``POST /v1/jobs``, ``/v1/compress``, ``/v1/campaign``) plus the node-ops
+endpoints the fleet uses to assemble itself.  Clients — above all
+:class:`~repro.campaign.dispatch.CampaignDispatcher` in gateway mode — talk
+to the gateway exactly as they would to a single node; the gateway:
+
+* **canonicalizes** every submission with the same shared helpers nodes use
+  (:func:`~repro.service.server.canonicalize_compress` et al.), computes the
+  content digest *before* choosing a node, and
+* **routes by digest** over a consistent-hash ring (:mod:`.ring`), so a
+  re-submitted job lands on the node whose result cache already holds it;
+  the node's answer must echo the same digest or the proxy answers 502
+  (registry skew caught per-response, as the dispatcher does);
+* **replicates journals**: nodes stream their journal lines in, and the
+  gateway writes its own submit line per routed job at proxy time — so a
+  node SIGKILLed before its shipper flushed still leaves the gateway
+  knowing every job it owed;
+* **fails over**: when the registry sweeps a node to dead, its unfinished
+  replica jobs are replayed onto ring survivors; polls for a dead node's
+  jobs answer synthetically (``state: "queued"``) until the replacement
+  exists, then follow the mapping — the dispatcher never sees the death;
+* **meters tenants**: with a keys file, submissions authenticate with
+  ``Authorization: Bearer`` and are charged against per-tenant token-bucket
+  rate and max-inflight quotas (429 + ``Retry-After``, same contract as a
+  saturated node queue).
+
+Gateway job ids are ``<remote id>@<node id>``; the proxy rewrites ids on the
+way out and back so callers never handle node-local ids.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_metrics
+from ..service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceRequestError,
+    ServiceUnavailable,
+)
+from ..service.registry import ScenarioRegistry, build_default_registry
+from ..service.server import canonicalize_campaign, canonicalize_compress
+from ..service.workers import job_digest
+from .quotas import ANONYMOUS_TENANT, QuotaExceeded, TenantQuotas, UnknownKeyError
+from .registry import NodeRegistry, RegistrySkewError, UnknownNodeError, compute_registry_digest
+from .replication import ReplicaStore
+from .ring import HashRing
+
+__all__ = ["GATEWAY_ROUTES", "GatewayServer", "create_gateway"]
+
+#: The gateway's route table — snapshotted by ``scripts/check_api_surface.py``
+#: (``gateway_routes``) so the front-door surface is an explicit contract,
+#: like the node's ``V1_ROUTES``.
+GATEWAY_ROUTES = (
+    "GET /v1/codecs",
+    "GET /v1/gateway/nodes",
+    "GET /v1/health",
+    "GET /v1/healthz",
+    "GET /v1/jobs",
+    "GET /v1/jobs/<id>",
+    "GET /v1/jobs/<id>/result",
+    "GET /v1/jobs/<id>/trace",
+    "GET /v1/metrics",
+    "GET /v1/readyz",
+    "GET /v1/scenarios",
+    "POST /v1/campaign",
+    "POST /v1/compress",
+    "POST /v1/jobs",
+    "POST /v1/jobs/<id>/cancel",
+    "POST /v1/nodes",
+    "POST /v1/nodes/<id>/deregister",
+    "POST /v1/nodes/<id>/heartbeat",
+    "POST /v1/nodes/<id>/journal",
+)
+
+_GATEWAY_ROUTE_SET = frozenset(GATEWAY_ROUTES)
+
+#: Same body bound as the node servers (a campaign spec is a few KiB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_OBS = get_metrics()
+_GW_REQUESTS = _OBS.counter(
+    "repro_gateway_requests_total",
+    "Gateway requests served, by route pattern, status code, and tenant.",
+    ("route", "status", "tenant"),
+)
+_GW_SECONDS = _OBS.histogram(
+    "repro_gateway_proxy_seconds",
+    "Gateway request handling latency (including the proxied hop) per route.",
+    ("route",),
+)
+_FAILOVER = _OBS.counter(
+    "repro_gateway_failover_replays_total",
+    "Jobs considered by failover replay, by outcome "
+    "(replayed, already_finished, failed).",
+    ("outcome",),
+)
+
+#: Terminal job states, mirrored from the node API (string form — the
+#: gateway never imports job objects, it only proxies their JSON).
+_TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+def _route_label(method: str, parts: list[str]) -> str:
+    """Collapse a request to its route pattern; unknown paths -> unrouted."""
+    normalized = list(parts)
+    if len(normalized) >= 2 and normalized[0] in ("jobs", "nodes"):
+        normalized[1] = "<id>"
+    candidate = "/v1/" + "/".join(normalized)
+    if f"{method} {candidate}" in _GATEWAY_ROUTE_SET:
+        return candidate
+    return "unrouted"
+
+
+def _parse_deadline(body: dict) -> float | None:
+    value = body.get("deadline_s")
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or not value > 0:
+        raise ValueError('"deadline_s" must be a positive number of seconds')
+    return float(value)
+
+
+class NoRouteError(Exception):
+    """No healthy node can take this submission right now."""
+
+
+class FleetSaturated(Exception):
+    """The digest's node answered 429 through every attempt."""
+
+    def __init__(self, node_id: str, cause: str, retry_after: float = 1.0):
+        super().__init__(f"node {node_id} saturated: {cause}")
+        self.node_id = node_id
+        self.retry_after = retry_after
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str, close: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.close = close
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    server: "GatewayServer"
+    server_version = "repro-gateway/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing (mirrors the node handler's envelope guarantees)
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self._observed_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._observed_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _split_path(self, url) -> list[str]:
+        """Path segments under ``/v1``.  The gateway is ``/v1``-only — it was
+        born versioned, so there is no legacy alias surface to carry."""
+        parts = [part for part in url.path.split("/") if part]
+        if parts and parts[0] == "v1":
+            return parts[1:]
+        return ["", *parts]  # unrouted namespace -> 404
+
+    def _drain_body(self) -> bytes:
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            raise _HTTPError(
+                400, f"invalid Content-Length header {raw_length!r}", close=True
+            ) from None
+        if length < 0:
+            raise _HTTPError(
+                400, f"invalid Content-Length header {raw_length!r}", close=True
+            )
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(
+                413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}",
+                close=True,
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _parse_json_body(self, raw: bytes) -> dict:
+        if not raw:
+            raise _HTTPError(400, "empty request body; expected a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise _HTTPError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return body
+
+    def _handle(self, route) -> None:
+        """Observability choke point: metrics + one ``gateway.request`` span.
+
+        The tenant label starts ``anonymous`` and is upgraded once a
+        submission authenticates, so the per-tenant request counter stays a
+        closed set (keys-file names + anonymous).
+        """
+        url = urlsplit(self.path)
+        route_label = _route_label(self.command, self._split_path(url))
+        self._observed_status = 0
+        self._tenant_label = ANONYMOUS_TENANT
+        request_span = obs_trace.start_span(
+            "gateway.request",
+            attrs={"method": self.command, "route": route_label, "path": url.path},
+            parent=obs_trace.parse_traceparent(
+                self.headers.get(obs_trace.TRACE_HEADER)
+            ),
+        )
+        started = time.perf_counter()
+        try:
+            with obs_trace.activate(request_span):
+                self._dispatch_route(route)
+        finally:
+            status = self._observed_status
+            request_span.set_attr("status", status)
+            request_span.finish(
+                status="error" if status >= 500 or status == 0 else "ok"
+            )
+            _GW_SECONDS.observe(time.perf_counter() - started, route=route_label)
+            _GW_REQUESTS.inc(
+                route=route_label, status=str(status), tenant=self._tenant_label
+            )
+
+    def _dispatch_route(self, route) -> None:
+        try:
+            route()
+        except _HTTPError as error:
+            if error.close:
+                self.close_connection = True
+            self._send_json(error.status, {"error": error.message})
+        except UnknownKeyError as error:
+            self._send_json(
+                401,
+                {"error": str(error)},
+                extra_headers={"WWW-Authenticate": "Bearer"},
+            )
+        except QuotaExceeded as error:
+            self._send_json(
+                429,
+                {
+                    "error": str(error),
+                    "tenant": error.tenant,
+                    "reason": error.reason,
+                    "retry_after": error.retry_after,
+                },
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after)))
+                },
+            )
+        except RegistrySkewError as error:
+            self._send_json(409, {"error": str(error)})
+        except UnknownNodeError as error:
+            node_id = error.args[0] if error.args else "?"
+            self._send_json(404, {"error": f"unknown node {node_id!r}"})
+        except FleetSaturated as error:
+            self._send_json(
+                429,
+                {"error": str(error), "retry_after": error.retry_after},
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(error.retry_after)))
+                },
+            )
+        except NoRouteError as error:
+            self._send_json(
+                503, {"error": f"no healthy node available: {error}"}
+            )
+        except ServiceRequestError as error:
+            # A node answered with a definitive error: pass it through under
+            # the node's own status so clients see one consistent API.
+            payload = error.payload if isinstance(error.payload, dict) else None
+            self._send_json(error.status, payload or {"error": str(error)})
+        except ServiceUnavailable as error:
+            self._send_json(502, {"error": f"node unreachable: {error}"})
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True  # client went away; nothing to send
+        except Exception as error:  # noqa: BLE001 - last-resort envelope
+            self.close_connection = True
+            try:
+                self._send_json(
+                    500,
+                    {"error": f"internal gateway error: {type(error).__name__}: {error}"},
+                )
+            except (BrokenPipeError, ConnectionResetError, OSError, ValueError, TypeError):
+                self._observed_status = 0  # connection unusable; span says error
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(self._route_post)
+
+    def _route_get(self) -> None:
+        url = urlsplit(self.path)
+        parts = self._split_path(url)
+        server = self.server
+
+        if parts == ["health"]:
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "api_version": "v1",
+                    "role": "gateway",
+                    "uptime_seconds": time.time() - server.started_at,
+                    "scenarios": len(server.registry),
+                    "registry_digest": server.registry_digest,
+                    "nodes": server.nodes.counts(),
+                },
+            )
+        elif parts == ["healthz"]:
+            self._send_json(200, {"status": "alive"})
+        elif parts == ["readyz"]:
+            self._send_readyz()
+        elif parts == ["scenarios"]:
+            self._send_json(200, {"scenarios": server.registry.describe()})
+        elif parts == ["codecs"]:
+            from .. import codecs
+
+            self._send_json(
+                200, {"api_version": "v1", "codecs": codecs.describe_codecs()}
+            )
+        elif parts == ["metrics"]:
+            self._send_metrics(url.query)
+        elif parts == ["gateway", "nodes"]:
+            self._send_json(
+                200,
+                {
+                    "nodes": [node.to_dict() for node in server.nodes.nodes()],
+                    "counts": server.nodes.counts(),
+                    "registry_digest": server.registry_digest,
+                },
+            )
+        elif parts == ["jobs"]:
+            self._send_json(200, server.list_jobs(url.query))
+        elif len(parts) in (2, 3) and parts[0] == "jobs":
+            suffix = ""
+            if len(parts) == 3:
+                if parts[2] not in ("result", "trace"):
+                    self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+                    return
+                suffix = "/" + parts[2]
+            status, payload = server.proxy_job_get(parts[1], suffix)
+            self._send_json(status, payload)
+        else:
+            self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+
+    def _send_readyz(self) -> None:
+        """Ready when at least one registered node is healthy to route to."""
+        if self.server.draining:
+            self._send_json(503, {"ready": False, "reason": "draining"})
+        elif not self.server.nodes.healthy_ids():
+            self._send_json(
+                503, {"ready": False, "reason": "no healthy nodes registered"}
+            )
+        else:
+            self._send_json(200, {"ready": True})
+
+    def _send_metrics(self, query_string: str) -> None:
+        query = parse_qs(query_string)
+        fmt = query.get("format", ["prometheus"])[0]
+        registry = get_metrics()
+        if fmt == "json":
+            self._send_json(200, registry.to_jsonable())
+        elif fmt in ("prometheus", "text"):
+            self._send_text(
+                200,
+                registry.render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            raise _HTTPError(
+                400, f'invalid "format" {fmt!r}; one of ["json", "prometheus"]'
+            )
+
+    def _route_post(self) -> None:
+        url = urlsplit(self.path)
+        raw = self._drain_body()
+        parts = self._split_path(url)
+
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            status, payload = self.server.proxy_cancel(parts[1])
+            self._send_json(status, payload)
+            return
+        if parts == ["nodes"]:
+            self._register_node(self._parse_json_body(raw))
+            return
+        if len(parts) == 2 and parts[0] == "nodes":
+            raise _HTTPError(404, f"no such endpoint {url.path!r}")
+        if len(parts) == 3 and parts[0] == "nodes":
+            self._node_ops(parts[1], parts[2], raw)
+            return
+        if parts not in (["jobs"], ["compress"], ["campaign"]):
+            self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+            return
+        self._submit(parts, url.query, self._parse_json_body(raw))
+
+    # ------------------------------------------------------------------ #
+    # Front door: routed submission
+    # ------------------------------------------------------------------ #
+
+    def _submit(self, parts: list[str], query_string: str, body: dict) -> None:
+        """Canonicalize -> authorize -> route by digest -> proxy -> record."""
+        server = self.server
+        tenant = None
+        if server.quotas is not None:
+            tenant = server.quotas.tenant_for(self.headers.get("Authorization"))
+            self._tenant_label = tenant.name
+            server.quotas.admit(tenant)
+        try:
+            job_type, params, digest, deadline_s = server.canonicalize(parts, body)
+        except ValueError as error:
+            raise _HTTPError(400, str(error)) from None
+        if tenant is not None:
+            # In-flight slots are keyed by digest: idempotent across the
+            # resubmission of the same work and stable across failover.
+            server.quotas.acquire(tenant, digest)
+        query = parse_qs(query_string)
+        wait = f"?wait={query['wait'][0]}" if "wait" in query else ""
+        try:
+            node_id, record = server.submit_routed(
+                f"/v1/{parts[0]}", body, digest, query=wait
+            )
+        except (NoRouteError, FleetSaturated, ServiceError):
+            if tenant is not None:
+                server.quotas.release(digest)
+            raise
+        remote_digest = record.get("digest")
+        if remote_digest != digest:
+            if tenant is not None:
+                server.quotas.release(digest)
+            server.nodes.mark_suspect(
+                node_id,
+                f"digest mismatch (gateway {digest[:12]}..., "
+                f"node {str(remote_digest)[:12]}...): registry skew",
+            )
+            raise _HTTPError(
+                502,
+                f"node {node_id} canonicalized the job to a different digest; "
+                "refusing the response (registry skew)",
+            )
+        rid = record.get("job_id")
+        gid = f"{rid}@{node_id}"
+        server.note_submission(node_id, rid, job_type, params, digest, deadline_s)
+        state = record.get("state")
+        if tenant is not None and state in _TERMINAL_STATES:
+            server.quotas.release(digest)
+        payload = {**record, "job_id": gid, "node": node_id}
+        self._send_json(200 if state in _TERMINAL_STATES else 202, payload)
+
+    # ------------------------------------------------------------------ #
+    # Node operations
+    # ------------------------------------------------------------------ #
+
+    def _register_node(self, body: dict) -> None:
+        url = body.get("url")
+        if not isinstance(url, str) or not url:
+            raise _HTTPError(400, 'missing or non-string "url" field')
+        digest = body.get("registry_digest")
+        if not isinstance(digest, str) or not digest:
+            raise _HTTPError(400, 'missing or non-string "registry_digest" field')
+        node_id = body.get("node_id")
+        if node_id is not None and not isinstance(node_id, str):
+            raise _HTTPError(400, '"node_id" must be a string when present')
+        try:
+            node = self.server.admit_node(url, digest, node_id=node_id)
+        except RegistrySkewError:
+            raise
+        except ValueError as error:
+            raise _HTTPError(400, str(error)) from None
+        self._send_json(
+            200,
+            {
+                "node_id": node.node_id,
+                "state": node.state,
+                "registry_digest": self.server.registry_digest,
+            },
+        )
+
+    def _node_ops(self, node_id: str, op: str, raw: bytes) -> None:
+        server = self.server
+        if op == "heartbeat":
+            body = self._parse_json_body(raw)
+            depth = body.get("queue_depth", 0)
+            if not isinstance(depth, int) or isinstance(depth, bool):
+                raise _HTTPError(400, '"queue_depth" must be an integer')
+            digest = body.get("registry_digest")
+            if not isinstance(digest, str):
+                raise _HTTPError(400, 'missing or non-string "registry_digest" field')
+            node = server.nodes.heartbeat(node_id, depth, digest)
+            self._send_json(200, {"status": "ok", "state": node.state})
+        elif op == "journal":
+            body = self._parse_json_body(raw)
+            lines = body.get("lines")
+            if not isinstance(lines, list) or not all(
+                isinstance(line, str) for line in lines
+            ):
+                raise _HTTPError(400, '"lines" must be a list of strings')
+            if server.nodes.get(node_id) is None:
+                raise UnknownNodeError(node_id)
+            self._send_json(200, server.replicas.append_lines(node_id, lines))
+        elif op == "deregister":
+            node = server.remove_node(node_id)
+            self._send_json(200, node.to_dict())
+        else:
+            raise _HTTPError(404, f"no such node operation {op!r}")
+
+
+class GatewayServer(ThreadingHTTPServer):
+    """HTTP gateway owning the node registry, hash ring, and replica store."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: ScenarioRegistry | None = None,
+        quotas: TenantQuotas | None = None,
+        state_dir: str | None = None,
+        suspect_after: float = 3.0,
+        dead_after: float = 10.0,
+        ring_replicas: int = 64,
+        node_timeout: float = 5.0,
+        sweep_interval: float | None = None,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _GatewayHandler)
+        self.registry = registry if registry is not None else build_default_registry()
+        self.registry_digest = compute_registry_digest(self.registry)
+        self.nodes = NodeRegistry(
+            self.registry_digest, suspect_after=suspect_after, dead_after=dead_after
+        )
+        self.quotas = quotas
+        self.verbose = verbose
+        self.draining = False
+        self.started_at = time.time()
+        self.node_timeout = node_timeout
+        self._tmpdir = None
+        if state_dir is None:
+            # Ephemeral gateways (tests, smoke runs) keep replicas in a
+            # self-cleaning directory; production passes --state.
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-gateway-")
+            state_dir = self._tmpdir.name
+        self.replicas = ReplicaStore(state_dir)
+        self._lock = threading.Lock()
+        self._ring = HashRing(replicas=ring_replicas)
+        self._clients: dict[str, ServiceClient] = {}
+        #: Original gateway job id -> (node id, remote id) after failover.
+        self._failover: dict[str, tuple[str, str]] = {}
+        #: Gateway ids with a failover resubmission in flight right now.
+        self._resurrecting: set[str] = set()
+        self._stop = threading.Event()
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop,
+            args=(sweep_interval if sweep_interval else max(suspect_after / 4.0, 0.05),),
+            name="gateway-sweeper",
+            daemon=True,
+        )
+        self._sweeper.start()
+        self._serving = False
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        with self._lock:
+            self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            with self._lock:
+                self._serving = False
+
+    def begin_drain(self) -> None:
+        """Flip ``GET /v1/readyz`` to 503 ahead of a graceful shutdown."""
+        self.draining = True
+
+    def close(self) -> None:
+        self._stop.set()
+        # BaseServer.shutdown() waits on an event only serve_forever() sets
+        # on exit; skip it for a gateway that never entered the serve loop.
+        if self._serving:
+            self.shutdown()
+        self.server_close()
+        self._sweeper.join(timeout=5.0)
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+
+    # ------------------------------------------------------------------ #
+    # Fleet membership
+    # ------------------------------------------------------------------ #
+
+    def admit_node(self, url: str, registry_digest: str, node_id: str | None = None):
+        node = self.nodes.register(url, registry_digest, node_id=node_id)
+        with self._lock:
+            self._ring.add(node.node_id)
+            # Drop any cached client: a re-registration may change the URL.
+            self._clients.pop(node.node_id, None)
+        return node
+
+    def remove_node(self, node_id: str):
+        node = self.nodes.deregister(node_id)
+        with self._lock:
+            self._ring.remove(node_id)
+        # A graceful drain finishes running jobs but requeues the rest into
+        # a journal nobody will replay soon; fail them over now.
+        self._failover_node(node_id)
+        return node
+
+    def node_client(self, node_id: str) -> ServiceClient | None:
+        node = self.nodes.get(node_id)
+        if node is None:
+            return None
+        with self._lock:
+            client = self._clients.get(node_id)
+            if client is None or client.base_url != node.url:
+                client = ServiceClient(
+                    node.url, timeout=self.node_timeout, retries=1, backoff=0.05
+                )
+                self._clients[node_id] = client
+        return client
+
+    def route_digest(self, digest: str, extra_exclude=()) -> str | None:
+        """The healthy ring owner for ``digest`` (suspect/dead excluded)."""
+        healthy = self.nodes.healthy_ids()
+        with self._lock:
+            exclude = (set(self._ring.members()) - healthy) | set(extra_exclude)
+            return self._ring.route(digest, exclude=exclude)
+
+    # ------------------------------------------------------------------ #
+    # Canonicalization (must agree byte-for-byte with the nodes)
+    # ------------------------------------------------------------------ #
+
+    def canonicalize(self, parts: list[str], body: dict):
+        """-> ``(job_type, canonical_params, digest, deadline_s)``.
+
+        Uses the node-shared canonicalizers, then merges the scenario's
+        defaults exactly as ``WorkerPool.submit`` does, so the digest the
+        gateway routes by equals the digest every (non-skewed) node will
+        answer with.  Raises ``ValueError`` on anything malformed.
+        """
+        if parts == ["compress"]:
+            submission, deadline_s = canonicalize_compress(body)
+            job_type = "codec_compress"
+        elif parts == ["campaign"]:
+            submission, deadline_s = canonicalize_campaign(body, self.registry)
+            job_type = "campaign"
+        else:
+            job_type = body.get("type")
+            if not isinstance(job_type, str):
+                raise ValueError('missing or non-string "type" field')
+            submission = body.get("params")
+            if submission is None:
+                submission = {}
+            if not isinstance(submission, dict):
+                raise ValueError('"params" must be a JSON object')
+            unknown = set(body) - {"type", "params", "deadline_s"}
+            if unknown:
+                raise ValueError(f"unknown field(s) {sorted(unknown)}")
+            deadline_s = _parse_deadline(body)
+        declared = self.registry.get(job_type)  # ValueError on unknown types
+        params = {**declared.defaults, **dict(submission)}
+        return job_type, params, job_digest(job_type, params), deadline_s
+
+    # ------------------------------------------------------------------ #
+    # Routed proxying
+    # ------------------------------------------------------------------ #
+
+    def submit_routed(
+        self, path: str, body: dict, digest: str, query: str = ""
+    ) -> tuple[str, dict]:
+        """POST ``body`` to the digest's ring owner, failing over candidates.
+
+        An unreachable owner is marked suspect and the next ring candidate
+        tried; a *saturated* owner (429 through the client's retries) is
+        surfaced as :class:`FleetSaturated` instead — backpressure should
+        slow the caller down, not scatter the digest's cache locality
+        across the fleet.
+        """
+        tried: set[str] = set()
+        last_error = "no nodes registered"
+        while True:
+            target = self.route_digest(digest, extra_exclude=tried)
+            if target is None:
+                raise NoRouteError(last_error)
+            client = self.node_client(target)
+            if client is None:
+                tried.add(target)
+                continue
+            try:
+                record = client.request(
+                    "POST", path + query, body,
+                    on_retry=self._reconciler(client, digest),
+                )
+            except ServiceUnavailable as error:
+                if error.saturated:
+                    raise FleetSaturated(target, str(error)) from None
+                self.nodes.mark_suspect(target, str(error))
+                tried.add(target)
+                last_error = str(error)
+                continue
+            return target, record
+
+    @staticmethod
+    def _reconciler(client: ServiceClient, digest: str):
+        """Reconcile-by-digest hook for proxied submits (see client.submit):
+        a retry first asks whether the previous attempt already landed."""
+
+        def reconcile() -> dict | None:
+            try:
+                listing = client.request("GET", f"/v1/jobs?digest={digest}")
+            except ServiceError:
+                return None
+            for record in listing.get("jobs", []):
+                if isinstance(record, dict) and record.get("state") != "cancelled":
+                    return record
+            return None
+
+        return reconcile
+
+    def note_submission(
+        self,
+        node_id: str,
+        rid: str,
+        job_type: str,
+        params: dict,
+        digest: str,
+        deadline_s: float | None,
+        gateway_id: str | None = None,
+    ) -> None:
+        """Write the gateway-authored replica submit line for a routed job.
+
+        This is the failover safety net: even if the node is SIGKILLed
+        before its journal shipper ever flushes, the gateway already holds
+        a submit record for every job it routed there.
+        """
+        fields = {
+            "job_id": rid,
+            "type": job_type,
+            "params": params,
+            "digest": digest,
+            "submitted_at": time.time(),
+            "deadline_s": deadline_s,
+        }
+        if gateway_id is not None:
+            fields["gateway_id"] = gateway_id
+        self.replicas.record_submit(node_id, **fields)
+
+    def lookup_target(self, gid: str) -> tuple[str | None, str | None]:
+        """Resolve a gateway job id to its current ``(node id, remote id)``."""
+        with self._lock:
+            mapped = self._failover.get(gid)
+        if mapped is not None:
+            return mapped
+        rid, sep, node_id = gid.rpartition("@")
+        if not sep or not rid or not node_id:
+            return None, None
+        return node_id, rid
+
+    def proxy_job_get(self, gid: str, suffix: str) -> tuple[int, dict]:
+        """``GET /v1/jobs/<gid>[/result|/trace]`` -> (status, payload).
+
+        Reachable nodes are proxied and ids rewritten; a dead (or
+        unreachable) node's jobs answer synthetically from the replica
+        journal until failover has re-homed them — the caller sees
+        ``queued``, never a 5xx, so dispatcher poll loops ride straight
+        through a node loss.
+        """
+        node_id, rid = self.lookup_target(gid)
+        if node_id is None:
+            return 404, {"error": f"no such job {gid!r} (not a gateway job id)"}
+        node = self.nodes.get(node_id)
+        if node is None:
+            return 404, {"error": f"no such job {gid!r} (unknown node)"}
+        if node.state != "dead":
+            client = self.node_client(node_id)
+            try:
+                record = client.request("GET", f"/v1/jobs/{rid}{suffix}")
+            except ServiceRequestError as error:
+                payload = error.payload if isinstance(error.payload, dict) else None
+                payload = payload or {"error": str(error)}
+                if payload.get("job_id") == rid:
+                    payload = {**payload, "job_id": gid}
+                return error.status, payload
+            except ServiceUnavailable as error:
+                self.nodes.mark_suspect(node_id, str(error))
+            else:
+                if record.get("job_id") == rid:
+                    record = {**record, "job_id": gid}
+                if self.quotas is not None and record.get("state") in _TERMINAL_STATES:
+                    digest = record.get("digest")
+                    if isinstance(digest, str):
+                        self.quotas.release(digest)
+                return 200, record
+        return self._synthetic_job_get(gid, node_id, rid, suffix)
+
+    def _synthetic_job_get(
+        self, gid: str, node_id: str, rid: str, suffix: str
+    ) -> tuple[int, dict]:
+        """Answer for a job on an unreachable node, resurrecting if needed."""
+        view = self.replicas.job_view(node_id, rid)
+        finish = (view or {}).get("finish")
+        if isinstance(finish, dict) and finish.get("event") in ("failed", "cancelled"):
+            record = {
+                "job_id": gid,
+                "state": finish["event"],
+                "digest": finish.get("digest"),
+                "error": finish.get("error"),
+            }
+            if self.quotas is not None and isinstance(record["digest"], str):
+                self.quotas.release(record["digest"])
+            return 200, record
+        submit = (view or {}).get("submit")
+        if isinstance(submit, dict):
+            # Unfinished — or finished "done" with the result marooned on the
+            # dead node — either way the job must run again on a survivor.
+            outcome = self.resurrect(gid, submit)
+            if outcome != "already_finished":
+                _FAILOVER.inc(outcome=outcome)
+            queued = {"job_id": gid, "state": "queued", "digest": submit.get("digest")}
+            if suffix == "/result":
+                return 409, {**queued, "error": "job not finished"}
+            if suffix == "/trace":
+                return 200, {"job_id": gid, "trace_id": None, "state": "queued",
+                             "span_count": 0, "trace": []}
+            return 200, queued
+        return 404, {"error": f"no such job {gid!r}"}
+
+    def proxy_cancel(self, gid: str) -> tuple[int, dict]:
+        node_id, rid = self.lookup_target(gid)
+        if node_id is None or self.nodes.get(node_id) is None:
+            return 404, {"error": f"no such job {gid!r}"}
+        client = self.node_client(node_id)
+        try:
+            record = client.request("POST", f"/v1/jobs/{rid}/cancel", {})
+        except ServiceRequestError as error:
+            payload = error.payload if isinstance(error.payload, dict) else None
+            return error.status, payload or {"error": str(error)}
+        if record.get("job_id") == rid:
+            record = {**record, "job_id": gid}
+        if self.quotas is not None and record.get("state") in _TERMINAL_STATES:
+            digest = record.get("digest")
+            if isinstance(digest, str):
+                self.quotas.release(digest)
+        return 200, record
+
+    def list_jobs(self, query_string: str) -> dict:
+        """``GET /v1/jobs`` fanned out over reachable nodes, ids rewritten.
+
+        The digest/state/pagination query is forwarded verbatim to each
+        node; this is what makes a client's reconcile-by-digest work
+        through the gateway.
+        """
+        query = f"?{query_string}" if query_string else ""
+        jobs: list[dict] = []
+        total = 0
+        for node in self.nodes.nodes():
+            if node.state not in ("healthy", "suspect"):
+                continue
+            client = self.node_client(node.node_id)
+            try:
+                listing = client.request("GET", f"/v1/jobs{query}")
+            except ServiceError:
+                continue
+            for record in listing.get("jobs", []):
+                if isinstance(record, dict) and isinstance(record.get("job_id"), str):
+                    record = {
+                        **record,
+                        "job_id": f"{record['job_id']}@{node.node_id}",
+                        "node": node.node_id,
+                    }
+                jobs.append(record)
+            raw_total = listing.get("total")
+            total += raw_total if isinstance(raw_total, int) else 0
+        return {"jobs": jobs, "total": total}
+
+    # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+
+    def _sweep_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            for node, _old, new_state in self.nodes.sweep():
+                if new_state == "dead":
+                    self._failover_node(node.node_id)
+
+    def _failover_node(self, node_id: str) -> dict:
+        """Replay a lost node's unfinished replica jobs onto survivors."""
+        with obs_trace.span("gateway.failover", attrs={"node": node_id}) as span:
+            unfinished = self.replicas.unfinished(node_id)
+            outcomes = {"replayed": 0, "already_finished": 0, "failed": 0}
+            for record in unfinished:
+                rid = record.get("job_id")
+                if not isinstance(rid, str):
+                    continue
+                gid = record.get("gateway_id")
+                if not isinstance(gid, str):
+                    gid = f"{rid}@{node_id}"
+                outcome = self.resurrect(gid, record)
+                outcomes[outcome] += 1
+                _FAILOVER.inc(outcome=outcome)
+            span.set_attr("unfinished", len(unfinished))
+            span.set_attr("outcomes", dict(outcomes))
+        return outcomes
+
+    def resurrect(self, gid: str, submit_record: dict) -> str:
+        """Re-home one lost job onto a ring survivor; returns the outcome.
+
+        Idempotent and race-safe: a gid already re-homed (or being re-homed
+        by a concurrent poll/sweeper) is skipped, so eager sweep failover
+        and lazy poll-driven resurrection never double-submit.
+        """
+        with self._lock:
+            if gid in self._failover or gid in self._resurrecting:
+                return "already_finished"
+            self._resurrecting.add(gid)
+        try:
+            job_type = submit_record.get("type")
+            params = submit_record.get("params")
+            digest = submit_record.get("digest")
+            if not (
+                isinstance(job_type, str)
+                and isinstance(params, dict)
+                and isinstance(digest, str)
+            ):
+                return "failed"
+            body: dict = {"type": job_type, "params": params}
+            deadline = submit_record.get("deadline_s")
+            if (
+                isinstance(deadline, (int, float))
+                and not isinstance(deadline, bool)
+                and deadline > 0
+            ):
+                # Re-armed with its full budget: the old wall clock died
+                # with the node (same rule as journal replay on restart).
+                body["deadline_s"] = float(deadline)
+            try:
+                target, record = self.submit_routed("/v1/jobs", body, digest)
+            except (NoRouteError, FleetSaturated, ServiceError):
+                return "failed"
+            rid = record.get("job_id")
+            if not isinstance(rid, str):
+                return "failed"
+            self.note_submission(
+                target, rid, job_type, params, digest,
+                body.get("deadline_s"), gateway_id=gid,
+            )
+            with self._lock:
+                self._failover[gid] = (target, rid)
+            return "replayed"
+        finally:
+            with self._lock:
+                self._resurrecting.discard(gid)
+
+
+def create_gateway(
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    state_dir: str | None = None,
+    keys_file: str | None = None,
+    registry: ScenarioRegistry | None = None,
+    suspect_after: float = 3.0,
+    dead_after: float = 10.0,
+    node_timeout: float = 5.0,
+    sweep_interval: float | None = None,
+    verbose: bool = False,
+) -> GatewayServer:
+    """Build a ready-to-serve :class:`GatewayServer` (``port=0`` -> ephemeral).
+
+    ``keys_file`` enables per-tenant authentication and quotas (see
+    :mod:`repro.gateway.quotas` for the format); without it the gateway is
+    open and all traffic is metered under the ``anonymous`` tenant label.
+    ``state_dir`` holds the per-node replica journals; omitted, an ephemeral
+    directory is used (fine for tests, wrong for durable failover across
+    gateway restarts).
+    """
+    from .quotas import load_keys_file
+
+    quotas = load_keys_file(keys_file) if keys_file is not None else None
+    return GatewayServer(
+        (host, port),
+        registry=registry,
+        quotas=quotas,
+        state_dir=state_dir,
+        suspect_after=suspect_after,
+        dead_after=dead_after,
+        node_timeout=node_timeout,
+        sweep_interval=sweep_interval,
+        verbose=verbose,
+    )

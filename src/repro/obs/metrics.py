@@ -416,6 +416,10 @@ def declare_standard_families(registry: MetricsRegistry) -> None:
         ("reason",),
     )
     registry.counter(
+        "repro_journal_sink_errors_total",
+        "Journal fan-out sink invocations that raised (line kept locally).",
+    )
+    registry.counter(
         "repro_chaos_injections_total",
         "Faults injected by the active chaos plan, by injection point and mode.",
         ("point", "mode"),
@@ -447,8 +451,58 @@ def declare_standard_families(registry: MetricsRegistry) -> None:
         ("reason",),
     )
     registry.counter(
+        "repro_client_reconciliations_total",
+        "Retried submits resolved by digest lookup instead of re-posting "
+        "(double-submit prevention).",
+    )
+    registry.counter(
         "repro_dispatch_cooldowns_total",
         "Dispatcher 429-saturation cooldowns (node window shrunk, cell parked).",
+    )
+    registry.counter(
+        "repro_gateway_requests_total",
+        "Gateway HTTP requests, by route pattern, status code, and tenant.",
+        ("route", "status", "tenant"),
+    )
+    registry.histogram(
+        "repro_gateway_proxy_seconds",
+        "Gateway proxied-request latency (upstream round trip) per route.",
+        ("route",),
+    )
+    registry.gauge(
+        "repro_gateway_nodes",
+        "Registered nodes currently in each health state.",
+        ("state",),
+    )
+    registry.counter(
+        "repro_gateway_node_transitions_total",
+        "Node health-state transitions observed by the gateway registry, "
+        "by new state.",
+        ("state",),
+    )
+    registry.counter(
+        "repro_gateway_heartbeats_total",
+        "Node heartbeats handled by the gateway, by outcome "
+        "(ok, unknown, skew).",
+        ("outcome",),
+    )
+    registry.counter(
+        "repro_gateway_replicated_lines_total",
+        "Journal lines streamed into the gateway's replica store, by outcome "
+        "(accepted, rejected).",
+        ("outcome",),
+    )
+    registry.counter(
+        "repro_gateway_failover_replays_total",
+        "Unfinished jobs of dead nodes replayed onto survivors, by outcome "
+        "(replayed, already_finished, failed).",
+        ("outcome",),
+    )
+    registry.counter(
+        "repro_gateway_quota_rejections_total",
+        "Tenant requests rejected by gateway quotas, by tenant and reason "
+        "(rate, inflight, unauthorized).",
+        ("tenant", "reason"),
     )
     registry.histogram(
         "repro_operation_seconds",

@@ -121,6 +121,11 @@ _BREAKER_TRANSITIONS = get_metrics().counter(
     "ServiceClient circuit-breaker state transitions, by new state.",
     ("state",),
 )
+_RECONCILES_TOTAL = get_metrics().counter(
+    "repro_client_reconciliations_total",
+    "Retried submits resolved by digest lookup instead of re-posting "
+    "(double-submit prevention).",
+)
 
 
 def _retry_reason(cause: str) -> str:
@@ -259,6 +264,7 @@ class ServiceClient:
         sleep: Callable[[float], None] = time.sleep,
         api_prefix: str = "/v1",
         breaker: CircuitBreaker | None = None,
+        api_key: str | None = None,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -266,6 +272,7 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.api_key = api_key
         self.api_prefix = api_prefix.rstrip("/")
         self._sleep = sleep
         self.breaker = breaker if breaker is not None else CircuitBreaker()
@@ -274,6 +281,8 @@ class ServiceClient:
         #: process-wide ``repro_client_retries_total`` family; the campaign
         #: dispatcher aggregates these into its end-of-run summary.
         self.retries_by_reason: dict[str, int] = {}
+        #: Retried submits resolved by digest lookup instead of a re-POST.
+        self.reconciliations = 0
 
     def __repr__(self) -> str:
         return f"ServiceClient({self.base_url!r})"
@@ -282,7 +291,13 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------ #
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        on_retry: Callable[[], dict | None] | None = None,
+    ) -> dict:
         """One JSON round trip with retry/backoff; returns the decoded body.
 
         When a trace context is active (the request happens inside a span —
@@ -290,6 +305,11 @@ class ServiceClient:
         header so the server's ``http.request`` span joins the caller's
         trace.  Transient failures that will be retried are counted, per
         cause, on this instance and in the metrics registry.
+
+        ``on_retry`` runs before each re-attempt (after the backoff sleep);
+        when it returns a dict, that becomes the call's result and the
+        request is *not* re-sent — the reconcile hook non-idempotent calls
+        like :meth:`submit` use to avoid acting twice.
         """
         url = self.base_url + path
         if not self.breaker.allow():
@@ -299,6 +319,10 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload, allow_nan=False).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if self.api_key:
+            # Gateway tenant authentication (see repro.gateway.quotas);
+            # plain nodes ignore the header.
+            headers["Authorization"] = "Bearer " + self.api_key
         ctx = obs_trace.current_context()
         if ctx is not None:
             headers[obs_trace.TRACE_HEADER] = obs_trace.format_traceparent(ctx)
@@ -312,6 +336,10 @@ class ServiceClient:
                     retry_hint = None
                 else:
                     self._sleep(self.backoff * (2 ** (attempt - 1)))
+                if on_retry is not None:
+                    resolved = on_retry()
+                    if resolved is not None:
+                        return resolved
             try:
                 maybe_fail("client.request")
                 request = urllib.request.Request(url, data=data, headers=headers, method=method)
@@ -368,10 +396,11 @@ class ServiceClient:
         _RETRIES_TOTAL.inc(reason=reason)
 
     def retry_stats(self) -> dict:
-        """``{"total": N, "by_reason": {...}}`` of this client's retries."""
+        """Retry/reconcile tallies of this client instance."""
         return {
             "total": sum(self.retries_by_reason.values()),
             "by_reason": dict(sorted(self.retries_by_reason.items())),
+            "reconciliations": self.reconciliations,
         }
 
     # ------------------------------------------------------------------ #
@@ -429,12 +458,54 @@ class ServiceClient:
 
         ``deadline_s`` is the job's wall-clock budget on the server: a job
         that has not finished when it expires becomes ``FAILED: deadline``.
+
+        Submits are **reconciled on retry**: a submit can time out *after*
+        the server accepted it, so blindly re-POSTing may double-submit.
+        Before each re-attempt the client computes the job's content digest
+        (the same canonicalization the server applies) and asks ``GET
+        /v1/jobs?digest=`` whether the first POST landed; if it did, that
+        record is adopted instead of posting again.  Reconciled submits are
+        counted in :attr:`reconciliations` / :meth:`retry_stats`.  (A record
+        adopted this way is returned as-is — a ``wait=`` bound applies only
+        to a fresh POST.)
         """
         path = self._path("/jobs" if wait is None else f"/jobs?wait={wait}")
         body: dict = {"type": job_type, "params": params or {}}
         if deadline_s is not None:
             body["deadline_s"] = deadline_s
-        return self.request("POST", path, body)
+        return self.request(
+            "POST", path, body,
+            on_retry=lambda: self._reconcile_submit(job_type, params),
+        )
+
+    def _reconcile_submit(self, job_type: str, params: dict | None) -> dict | None:
+        """Find a possibly-already-accepted submit by content digest.
+
+        Computes the digest exactly as the server would — canonical defaults
+        from ``GET /v1/scenarios`` merged under the explicit params — and
+        queries the job listing for it.  Returns the found record (any live
+        or done state; a cancelled one does not count as "landed"), or
+        ``None`` to let the normal retry re-POST.  Every failure mode
+        (unknown scenario, unreachable server, breaker open) falls back to
+        ``None``: reconciliation is an optimization for correctness, never a
+        new failure path.
+        """
+        from .workers import job_digest  # deferred: keeps client import light
+
+        try:
+            defaults = self.scenario_defaults().get(job_type)
+            if defaults is None:
+                return None
+            digest = job_digest(job_type, {**defaults, **dict(params or {})})
+            listing = self.jobs(digest=digest)
+        except (ServiceError, ValueError, TypeError, KeyError):
+            return None
+        for record in listing.get("jobs") or []:
+            if record.get("state") != "cancelled":
+                self.reconciliations += 1
+                _RECONCILES_TOTAL.inc()
+                return record
+        return None
 
     def submit_campaign(self, spec: dict, jobs: int = 1, wait: float | None = None) -> dict:
         path = self._path("/campaign" if wait is None else f"/campaign?wait={wait}")
@@ -474,10 +545,15 @@ class ServiceClient:
         return self.request("POST", self._path(f"/jobs/{job_id}/cancel"))
 
     def jobs(self, state: str | None = None, offset: int | None = None,
-             limit: int | None = None) -> dict:
+             limit: int | None = None, digest: str | None = None) -> dict:
         query = "&".join(
             f"{key}={value}"
-            for key, value in (("state", state), ("offset", offset), ("limit", limit))
+            for key, value in (
+                ("state", state),
+                ("digest", digest),
+                ("offset", offset),
+                ("limit", limit),
+            )
             if value is not None
         )
         return self.request("GET", self._path("/jobs" + (f"?{query}" if query else "")))

@@ -50,7 +50,7 @@ from .jobs import Job, JobState
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .workers import WorkerPool
 
-__all__ = ["JobJournal"]
+__all__ = ["JobJournal", "checksummed_line", "verify_checksum"]
 
 _OBS_APPENDS = get_metrics().counter(
     "repro_journal_appends_total", "Job-journal lines appended, by event.", ("event",)
@@ -63,6 +63,10 @@ _OBS_QUARANTINED = get_metrics().counter(
     "repro_journal_quarantined_total",
     "Corrupt journal lines moved to journal.quarantine.jsonl, by reason.",
     ("reason",),
+)
+_OBS_SINK_ERRORS = get_metrics().counter(
+    "repro_journal_sink_errors_total",
+    "Journal fan-out sink invocations that raised (line kept locally).",
 )
 
 
@@ -79,20 +83,34 @@ _FINISH_EVENTS = {
 DEFAULT_KEEP_FINISHED = 1024
 
 
-def _checksummed_line(record: dict) -> str:
-    """Serialize ``record`` with a ``crc32`` field over its canonical JSON."""
+def checksummed_line(record: dict) -> str:
+    """Serialize ``record`` with a ``crc32`` field over its canonical JSON.
+
+    Public: the gateway's replication store writes replica journal lines in
+    exactly this format so one verifier covers both.
+    """
     payload = json.dumps(record, sort_keys=True, allow_nan=False)
     crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
     return json.dumps({**record, "crc32": crc}, sort_keys=True, allow_nan=False)
 
 
-def _verify_checksum(record: dict) -> bool:
-    """True when the record has no checksum (legacy line) or it matches."""
+def verify_checksum(record: dict) -> bool:
+    """True when the record has no checksum (legacy line) or it matches.
+
+    Mutates ``record`` (the ``crc32`` field is popped); pass a copy to keep
+    the original.  Public for the same reason as :func:`checksummed_line`:
+    replicated journal lines are verified with the identical rule.
+    """
     if "crc32" not in record:
         return True
     claimed = record.pop("crc32")
     payload = json.dumps(record, sort_keys=True, allow_nan=False)
     return claimed == (zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF)
+
+
+# Internal aliases kept so call sites read as before the rename.
+_checksummed_line = checksummed_line
+_verify_checksum = verify_checksum
 
 
 class JobJournal:
@@ -107,6 +125,40 @@ class JobJournal:
         self._handle = self.path.open("a", encoding="utf-8")
         self.write_errors = 0
         self.quarantined = 0
+        self.sink_errors = 0
+        #: Fan-out hooks called with each raw line after a successful local
+        #: append — the gateway agent's replication stream attaches here.
+        self._sinks: list = []
+
+    # ------------------------------------------------------------------ #
+    # Fan-out sinks (replication)
+    # ------------------------------------------------------------------ #
+
+    def add_sink(self, sink) -> None:
+        """Register ``sink(raw_line)`` to observe every appended line.
+
+        Sinks run *outside* the journal lock (a slow or blocked sink must not
+        stall job submission) and are best-effort: a raising sink is counted
+        (``sink_errors`` / ``repro_journal_sink_errors_total``) and skipped —
+        the local append already succeeded, so durability never regresses.
+        """
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def _fan_out(self, line: str) -> None:
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(line)
+            except Exception:  # noqa: BLE001 - sink faults must stay local
+                self.sink_errors += 1
+                _OBS_SINK_ERRORS.inc()
 
     # ------------------------------------------------------------------ #
     # Recording (called by the worker pool, best-effort)
@@ -119,13 +171,15 @@ class JobJournal:
         with self._lock:
             try:
                 maybe_fail("journal.append")
-                self._handle.write(_checksummed_line({"event": event, **fields}) + "\n")
+                line = _checksummed_line({"event": event, **fields})
+                self._handle.write(line + "\n")
                 self._handle.flush()
             except (TypeError, ValueError, OSError):
                 self.write_errors += 1
                 _OBS_WRITE_ERRORS.inc()
                 return
         _OBS_APPENDS.inc(event=event)
+        self._fan_out(line)
 
     def record_submit(self, job: Job) -> None:
         self.record(

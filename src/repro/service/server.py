@@ -13,6 +13,9 @@ frozen at the pre-``/v1`` route set.
 Method    Path (under ``/v1``)       Meaning
 ========  =========================  ==============================================
 GET       /v1/health                 liveness + uptime + pool stats
+GET       /v1/healthz                bare liveness probe (always 200)
+GET       /v1/readyz                 readiness: 503 until journal replay is
+                                     done and 503 again while draining
 GET       /v1/scenarios              the registry's job types and their canonical
                                      default parameters (pre-submit validation)
 GET       /v1/codecs                 codec discovery: names, versions, and
@@ -71,7 +74,14 @@ from .journal import JobJournal
 from .registry import ScenarioRegistry, build_default_registry
 from .workers import QueueFullError, WorkerPool
 
-__all__ = ["API_VERSION", "ReproServer", "V1_ROUTES", "create_server"]
+__all__ = [
+    "API_VERSION",
+    "ReproServer",
+    "V1_ROUTES",
+    "canonicalize_campaign",
+    "canonicalize_compress",
+    "create_server",
+]
 
 #: Current (only) version of the HTTP API; the path prefix is ``/v1``.
 API_VERSION = "v1"
@@ -83,11 +93,13 @@ V1_ROUTES = (
     "GET /v1/cache/stats",
     "GET /v1/codecs",
     "GET /v1/health",
+    "GET /v1/healthz",
     "GET /v1/jobs",
     "GET /v1/jobs/<id>",
     "GET /v1/jobs/<id>/result",
     "GET /v1/jobs/<id>/trace",
     "GET /v1/metrics",
+    "GET /v1/readyz",
     "GET /v1/results",
     "GET /v1/results/<digest>",
     "GET /v1/scenarios",
@@ -151,6 +163,94 @@ def _parse_deadline(body: dict) -> float | None:
     if not isinstance(value, (int, float)) or isinstance(value, bool) or not value > 0:
         raise ValueError('"deadline_s" must be a positive number of seconds')
     return float(value)
+
+
+def canonicalize_compress(body: dict) -> tuple[dict, float | None]:
+    """Validate one ``POST /v1/compress`` body -> ``(submission, deadline_s)``.
+
+    The codec name, its parameters, and any pipeline stage list are validated
+    against the codec registry, and the *canonicalized* forms (defaults
+    merged in) are returned, so a sparse body, a spelled-out one, and a
+    campaign ``codec:`` cell of the same work all land on one content digest.
+    Shared by the service's compress route and the gateway front door (which
+    must compute the digest *before* choosing a node).  Raises ``ValueError``
+    on anything malformed.
+    """
+    from .. import codecs
+
+    allowed = {"codec", "params", "stages", "deadline_s", *codecs.TENSOR_SOURCE_PARAMS}
+    deadline_s = _parse_deadline(body)
+    body = {key: value for key, value in body.items() if key != "deadline_s"}
+    unknown = set(body) - allowed
+    if unknown:
+        raise ValueError(f"unknown compress field(s) {sorted(unknown)}")
+    stages = body.get("stages")
+    params = body.get("params", {})
+    if not isinstance(params, dict):
+        raise ValueError('"params" must be a JSON object')
+    codec = body.get("codec")
+    if stages is not None:
+        if params:
+            raise ValueError(
+                '"stages" implies the pipeline codec; move "params" into '
+                "the stage objects"
+            )
+        if codec not in (None, "pipeline"):
+            raise ValueError(
+                '"stages" implies the pipeline codec; drop the "codec" field'
+            )
+        codec, stages = "pipeline", codecs.validate_stages(stages)
+    else:
+        if not isinstance(codec, str) or not codec:
+            raise ValueError(
+                'missing or non-string "codec" field (GET /v1/codecs lists them)'
+            )
+        declared = codecs.get_codec(codec)
+        # A tensor-source key that is also a codec parameter (e.g.
+        # noisyquant's "seed") feeds both, matching campaign codec: grids —
+        # one value drives the synthetic tensor and the codec alike.  An
+        # explicit entry in "params" still wins.
+        shared = {
+            key: body[key]
+            for key in codecs.TENSOR_SOURCE_PARAMS
+            if key in body and key in declared.defaults and key not in params
+        }
+        params = declared.validate_params({**shared, **params})
+
+    submission: dict = {"codec": codec, "params": params, "stages": stages}
+    for key in codecs.TENSOR_SOURCE_PARAMS:
+        if key in body:
+            submission[key] = body[key]
+    return submission, deadline_s
+
+
+def canonicalize_campaign(body: dict, registry: ScenarioRegistry) -> tuple[dict, float | None]:
+    """Validate one ``POST /v1/campaign`` body -> ``(params, deadline_s)``.
+
+    The body is either the spec itself or ``{"spec": ..., "jobs": N}``;
+    validation (including expansion against ``registry``, which catches
+    unknown scenarios and parameter typos) runs here so malformed specs fail
+    the request, not the job.  Shared by the service's campaign route and the
+    gateway front door.  Raises ``ValueError`` on anything malformed.
+    """
+    from ..campaign import CampaignSpecError, expand_spec, parse_spec
+
+    deadline_s = None
+    if "spec" in body:
+        spec, jobs = body.get("spec"), body.get("jobs", 1)
+        unknown = set(body) - {"spec", "jobs", "deadline_s"}
+        if unknown:
+            raise ValueError(f"unknown campaign field(s) {sorted(unknown)}")
+        deadline_s = _parse_deadline(body)
+    else:
+        spec, jobs = body, 1
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ValueError('"jobs" must be a positive integer')
+    try:
+        expand_spec(parse_spec(spec), registry=registry)
+    except CampaignSpecError as error:
+        raise ValueError(f"invalid campaign spec: {error}") from None
+    return {"spec": spec, "jobs": jobs}, deadline_s
 
 
 class _HTTPError(Exception):
@@ -372,6 +472,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     "pool": pool.stats(),
                 },
             )
+        elif parts == ["healthz"]:
+            # Liveness: answers 200 for as long as the process can serve at
+            # all — registries and orchestrators use it to tell "slow" from
+            # "gone".  (/v1-only: "healthz" is not a legacy alias root.)
+            self._send_json(200, {"status": "alive"})
+        elif parts == ["readyz"]:
+            self._send_readyz()
         elif parts == ["scenarios"]:
             self._send_json(200, {"scenarios": self.server.registry.describe()})
         elif parts == ["codecs"]:
@@ -415,6 +522,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
         else:
             self._send_json(404, {"error": f"no such endpoint {url.path!r}"})
+
+    def _send_readyz(self) -> None:
+        """``GET /v1/readyz``: readiness, distinct from liveness.
+
+        503 while the node is still replaying its journal (jobs submitted
+        before the restart are not yet visible) and once a graceful drain has
+        begun (the node answers, but new work should go elsewhere) — the
+        externally visible "draining" signal SIGTERM previously lacked.
+        """
+        if self.server.draining:
+            self._send_json(503, {"ready": False, "reason": "draining"})
+        elif not self.server.ready:
+            self._send_json(503, {"ready": False, "reason": "replaying journal"})
+        else:
+            self._send_json(200, {"ready": True})
 
     def _send_metrics(self, query_string: str) -> None:
         """``GET /v1/metrics``: Prometheus text by default, ``?format=json``."""
@@ -517,7 +639,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
             )
 
     def _list_jobs(self, query_string: str) -> dict:
-        """``GET /jobs`` with optional ``state``/``offset``/``limit``."""
+        """``GET /jobs`` with optional ``state``/``digest``/``offset``/``limit``.
+
+        ``digest=`` filters to the jobs with that exact content digest — the
+        reconcile hook for a client whose submit timed out after the server
+        accepted it (and the gateway's cross-node job lookup).
+        """
         query = parse_qs(query_string)
         state: JobState | None = None
         if "state" in query:
@@ -531,6 +658,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         offset = self._parse_non_negative_int(query, "offset", 0)
         limit = self._parse_non_negative_int(query, "limit", None)
         jobs = self.server.pool.store.jobs(state=state)
+        if "digest" in query:
+            digest = query["digest"][0]
+            jobs = [job for job in jobs if job.digest == digest]
         window = jobs[offset:] if limit is None else jobs[offset:offset + limit]
         return {
             "jobs": [job.to_dict() for job in window],
@@ -637,89 +767,18 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, record)
 
     def _submit_campaign(self, body: dict):
-        """Validate and enqueue one ``POST /campaign`` request.
-
-        The body is either the spec itself or ``{"spec": ..., "jobs": N}``;
-        validation (including expansion against this pool's registry, which
-        catches unknown scenarios and parameter typos) runs here so malformed
-        specs fail the request, not the job.
-        """
-        from ..campaign import CampaignSpecError, expand_spec, parse_spec
-
-        deadline_s = None
-        if "spec" in body:
-            spec, jobs = body.get("spec"), body.get("jobs", 1)
-            unknown = set(body) - {"spec", "jobs", "deadline_s"}
-            if unknown:
-                raise ValueError(f"unknown campaign field(s) {sorted(unknown)}")
-            deadline_s = _parse_deadline(body)
-        else:
-            spec, jobs = body, 1
-        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
-            raise ValueError('"jobs" must be a positive integer')
-        try:
-            expand_spec(parse_spec(spec), registry=self.server.pool.registry)
-        except CampaignSpecError as error:
-            raise ValueError(f"invalid campaign spec: {error}") from None
-        return self.server.pool.submit(
-            "campaign", {"spec": spec, "jobs": jobs}, deadline_s=deadline_s
-        )
+        """Validate and enqueue one ``POST /campaign`` request."""
+        params, deadline_s = canonicalize_campaign(body, self.server.pool.registry)
+        return self.server.pool.submit("campaign", params, deadline_s=deadline_s)
 
     def _submit_compress(self, body: dict):
         """Validate and enqueue one ``POST /v1/compress`` request.
 
-        The codec name, its parameters, and any pipeline stage list are
-        validated against the codec registry *here*, so an unknown codec or a
-        parameter typo is a 400 on the request instead of a FAILED job.  The
-        *canonicalized* forms (defaults merged in) are what gets submitted,
-        so a sparse ``/v1/compress`` body, a spelled-out one, and a campaign
-        ``codec:`` cell of the same work all land on one content digest.
+        Validation happens in :func:`canonicalize_compress`, so an unknown
+        codec or a parameter typo is a 400 on the request instead of a FAILED
+        job.
         """
-        from .. import codecs
-
-        allowed = {"codec", "params", "stages", "deadline_s", *codecs.TENSOR_SOURCE_PARAMS}
-        deadline_s = _parse_deadline(body)
-        body = {key: value for key, value in body.items() if key != "deadline_s"}
-        unknown = set(body) - allowed
-        if unknown:
-            raise ValueError(f"unknown compress field(s) {sorted(unknown)}")
-        stages = body.get("stages")
-        params = body.get("params", {})
-        if not isinstance(params, dict):
-            raise ValueError('"params" must be a JSON object')
-        codec = body.get("codec")
-        if stages is not None:
-            if params:
-                raise ValueError(
-                    '"stages" implies the pipeline codec; move "params" into '
-                    "the stage objects"
-                )
-            if codec not in (None, "pipeline"):
-                raise ValueError(
-                    '"stages" implies the pipeline codec; drop the "codec" field'
-                )
-            codec, stages = "pipeline", codecs.validate_stages(stages)
-        else:
-            if not isinstance(codec, str) or not codec:
-                raise ValueError(
-                    'missing or non-string "codec" field (GET /v1/codecs lists them)'
-                )
-            declared = codecs.get_codec(codec)
-            # A tensor-source key that is also a codec parameter (e.g.
-            # noisyquant's "seed") feeds both, matching campaign codec:
-            # grids — one value drives the synthetic tensor and the codec
-            # alike.  An explicit entry in "params" still wins.
-            shared = {
-                key: body[key]
-                for key in codecs.TENSOR_SOURCE_PARAMS
-                if key in body and key in declared.defaults and key not in params
-            }
-            params = declared.validate_params({**shared, **params})
-
-        submission: dict = {"codec": codec, "params": params, "stages": stages}
-        for key in codecs.TENSOR_SOURCE_PARAMS:
-            if key in body:
-                submission[key] = body[key]
+        submission, deadline_s = canonicalize_compress(body)
         return self.server.pool.submit(
             "codec_compress", submission, deadline_s=deadline_s
         )
@@ -760,6 +819,10 @@ class ReproServer(ThreadingHTTPServer):
         super().__init__(address, _RequestHandler)
         self.registry = registry
         self.journal = journal
+        #: Readiness state surfaced by ``GET /v1/readyz``: not ready until
+        #: journal replay finished, and never again once a drain began.
+        self.ready = False
+        self.draining = False
         #: Where ``GET /v1/results`` reads from (read-only); ``None`` -> 503.
         self.warehouse_path = warehouse_path
         # Spans already flow to the process-wide in-memory ring; a trace log
@@ -779,12 +842,38 @@ class ReproServer(ThreadingHTTPServer):
         self.replay_stats: dict | None = None
         if journal is not None:
             self.replay_stats = journal.replay(self.pool)
+        self.ready = True
         self.started_at = time.time()
         self.verbose = verbose
+        self._serving = False
 
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    def _stop_listening(self) -> None:
+        # BaseServer.shutdown() waits on an event that only serve_forever()
+        # sets on exit; calling it on a server that never served (e.g. the
+        # CLI's failed-registration path) would block forever.
+        if self._serving:
+            self.shutdown()
+        self.server_close()
+
+    def begin_drain(self) -> None:
+        """Flip ``GET /v1/readyz`` to 503 ahead of a graceful shutdown.
+
+        Called by the CLI's signal handler *before* the listener stops, so a
+        registry or load balancer polling readyz sees "draining" while the
+        node still answers, instead of a hard connection refusal.
+        """
+        self.draining = True
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting requests and shut the worker pool down.
@@ -792,8 +881,7 @@ class ReproServer(ThreadingHTTPServer):
         ``wait=False`` abandons in-flight jobs instead of draining them
         (the CLI uses this so Ctrl-C exits promptly).
         """
-        self.shutdown()
-        self.server_close()
+        self._stop_listening()
         self.pool.shutdown(wait=wait)
         if self.journal is not None:
             self.journal.close()
@@ -810,10 +898,10 @@ class ReproServer(ThreadingHTTPServer):
         Returns ``{"inflight": ..., "drained": ..., "requeued": ...}`` so the
         CLI can report what happened to in-flight work.
         """
+        self.draining = True
         with self.pool._lock:
             inflight = len(self.pool._inflight)
-        self.shutdown()
-        self.server_close()
+        self._stop_listening()
         self.pool.shutdown(wait=True, cancel_pending=True)
         counts = self.pool.store.counts()
         requeued = counts.get("queued", 0) + counts.get("running", 0)

@@ -494,6 +494,20 @@ class TestGracefulShutdown:
         assert stats["inflight"] == 2
         assert stats["requeued"] == 1 and stats["drained"] == 1
 
+    def test_close_before_serve_forever_returns(self, tmp_path):
+        # BaseServer.shutdown() waits on an event only serve_forever() sets;
+        # a server torn down before ever serving (the CLI's failed gateway
+        # registration path) must still close promptly instead of hanging.
+        server = create_server(port=0, max_workers=1, journal_dir=str(tmp_path))
+        done = threading.Event()
+
+        def close():
+            server.close(wait=False)
+            done.set()
+
+        threading.Thread(target=close, daemon=True).start()
+        assert done.wait(10), "close() hung on a server that never served"
+
     def test_serve_cli_exits_zero_on_sigterm(self, tmp_path):
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve", "--port", "0",

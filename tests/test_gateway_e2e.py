@@ -1,0 +1,184 @@
+"""End-to-end gateway failover: SIGKILL a node mid-campaign, same report.
+
+The load-bearing acceptance test for the gateway control plane: a
+codec-pipeline campaign dispatched through the gateway over three real
+``repro serve --register`` subprocesses must survive one node being
+SIGKILLed mid-run — the gateway replays the lost node's unfinished jobs
+onto the survivors from its replica journal — and still produce
+``report.json``/``report.csv`` byte-identical to a local run.
+
+Subprocesses (not threads) are the point: SIGKILL gives the node no chance
+to flush, drain, or say goodbye, exactly the failure the replication design
+must absorb.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignRunner, parse_spec
+from repro.campaign.dispatch import CampaignDispatcher
+from repro.gateway import create_gateway
+from repro.service.client import ServiceClient
+
+#: A two-grid codec campaign: a pipeline sweep feeding a quantization sweep.
+#: Cells are sized to take long enough that a mid-run kill lands while work
+#: is genuinely outstanding, but the whole run stays test-suite friendly.
+SPEC = {
+    "name": "gateway-e2e",
+    "grids": [
+        {
+            "name": "chain",
+            "pipeline": [{"codec": "prune"}, {"codec": "microscaling"}],
+            "params": {"rows": 96, "cols": 384},
+            "sweep": {"seed": [0, 1, 2, 3, 4, 5]},
+        },
+        {
+            "name": "mx",
+            "codec": "microscaling",
+            "params": {"rows": 96, "cols": 384},
+            "sweep": {"bits": [4, 6, 8], "seed": [0, 1]},
+            "depends_on": ["chain"],
+        },
+    ],
+}
+
+
+def _spawn_node(gateway_url: str, journal_dir: Path) -> tuple[subprocess.Popen, str]:
+    """Start `repro serve --register` as a real subprocess; return (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--workers", "2",
+            "--journal", str(journal_dir),
+            "--register", gateway_url,
+            "--heartbeat-interval", "0.2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 30.0
+    banner = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(f"node exited early: rc={proc.poll()}")
+        banner += line
+        if line.startswith("repro service listening on "):
+            url = line.split()[-1].strip()
+            # Drain the remaining startup output so the pipe never fills.
+            threading.Thread(
+                target=proc.stdout.read, daemon=True
+            ).start()
+            return proc, url
+    raise AssertionError(f"no listening banner within 30s:\n{banner}")
+
+
+class TestGatewayFailoverE2E:
+    def test_sigkill_mid_campaign_report_byte_identical(self, tmp_path):
+        gateway = create_gateway(
+            port=0,
+            state_dir=str(tmp_path / "gateway-state"),
+            suspect_after=0.6,
+            dead_after=1.5,
+            sweep_interval=0.1,
+            node_timeout=10.0,
+        )
+        threading.Thread(target=gateway.serve_forever, daemon=True).start()
+        gateway_url = f"http://127.0.0.1:{gateway.port}"
+
+        nodes = []
+        try:
+            for i in range(3):
+                nodes.append(_spawn_node(gateway_url, tmp_path / f"journal-{i}"))
+            client = ServiceClient(gateway_url, timeout=10.0)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if client.health()["nodes"]["healthy"] == 3:
+                    break
+                time.sleep(0.1)
+            assert client.health()["nodes"]["healthy"] == 3
+
+            run_dir = tmp_path / "gateway-run"
+            results_dir = run_dir / "results"
+            dispatcher = CampaignDispatcher(
+                parse_spec(SPEC), [], run_dir,
+                gateway=gateway_url, poll_interval=0.05, max_inflight=4,
+            )
+
+            victim_proc, _victim_url = nodes[0]
+            killed = threading.Event()
+
+            def assassin():
+                # Strike once real progress exists and work is still due:
+                # some checkpoints written, but not all 18 cells.
+                deadline = time.monotonic() + 120.0
+                while time.monotonic() < deadline:
+                    done = (
+                        len(list(results_dir.glob("*.json")))
+                        if results_dir.exists()
+                        else 0
+                    )
+                    if 2 <= done < len(dispatcher.plan.jobs):
+                        victim_proc.send_signal(signal.SIGKILL)
+                        killed.set()
+                        return
+                    if done >= len(dispatcher.plan.jobs):
+                        return  # campaign outran the assassin; still a pass
+                    time.sleep(0.02)
+
+            thread = threading.Thread(target=assassin, daemon=True)
+            thread.start()
+            stats = dispatcher.run()
+            thread.join(timeout=5.0)
+
+            assert stats["report_written"] is True
+            assert stats["failed"] == 0
+            assert stats["mode"] == "gateway"
+            assert killed.is_set(), (
+                "the campaign finished before the assassin fired; "
+                "grow the spec so the kill lands mid-run"
+            )
+            assert victim_proc.wait(timeout=10.0) != 0
+
+            local_dir = tmp_path / "local-run"
+            CampaignRunner(parse_spec(SPEC), local_dir, jobs=2).run()
+            assert (run_dir / "report.json").read_bytes() == (
+                local_dir / "report.json"
+            ).read_bytes(), "gateway-dispatched report differs from local run"
+            assert (run_dir / "report.csv").read_bytes() == (
+                local_dir / "report.csv"
+            ).read_bytes()
+
+            # The campaign may finish (via suspect-node failover) before the
+            # sweeper's dead_after elapses; the victim must still be declared
+            # dead shortly after, since its heartbeats stopped for good.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if gateway.nodes.counts()["dead"] == 1:
+                    break
+                time.sleep(0.1)
+            counts = gateway.nodes.counts()
+            assert counts["dead"] == 1, f"victim never declared dead: {counts}"
+        finally:
+            for proc, _url in nodes:
+                if proc.poll() is None:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=10.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+            gateway.close()
