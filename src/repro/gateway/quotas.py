@@ -139,10 +139,12 @@ class TenantQuotas:
     """Thread-safe token buckets + in-flight caps keyed by API key.
 
     ``clock`` is injectable monotonic seconds so refill is unit testable.
-    In-flight slots are keyed by the gateway-visible job id and released
+    In-flight slots are keyed by ``(tenant, content digest)`` and released
     when the gateway observes a terminal state (or a cancel), so a tenant's
-    budget survives gateway-side failover: the slot follows the job id, not
-    the node it ran on.
+    budget survives gateway-side failover: the slot follows the work, not
+    the node it ran on.  Two tenants submitting the same digest each hold
+    (and are each charged) their own slot; the shared job finishing frees
+    both, since the digest is what reaches a terminal state.
     """
 
     def __init__(self, tenants: list[Tenant], clock: Callable[[], float] = time.monotonic):
@@ -160,7 +162,7 @@ class TenantQuotas:
             tenant.name: float(tenant.burst or 0.0) for tenant in tenants
         }
         self._refilled = {tenant.name: clock() for tenant in tenants}
-        self._inflight: dict[str, str] = {}  # job id -> tenant name
+        self._inflight: set[tuple[str, str]] = set()  # (tenant name, digest)
 
     @property
     def tenant_names(self) -> tuple[str, ...]:
@@ -203,30 +205,39 @@ class TenantQuotas:
             self._tokens[tenant.name] = tokens - 1.0
 
     def acquire(self, tenant: Tenant, job_id: str) -> None:
-        """Claim an in-flight slot for ``job_id`` or raise.
+        """Claim the tenant's in-flight slot for ``job_id`` or raise.
 
-        Idempotent per job id (a re-submission of an already-tracked job
-        costs nothing extra — the slot is already held).
+        Idempotent per ``(tenant, job_id)`` — a re-submission of work the
+        tenant already has in flight costs nothing extra.  A *different*
+        tenant submitting the same digest claims (and is charged) its own
+        slot, so one tenant's traffic never deflates another's accounting.
         """
         with self._lock:
-            if self._inflight.get(job_id) == tenant.name:
+            slot = (tenant.name, job_id)
+            if slot in self._inflight:
                 return
             if tenant.max_inflight is not None:
                 held = sum(
-                    1 for owner in self._inflight.values() if owner == tenant.name
+                    1 for owner, _ in self._inflight if owner == tenant.name
                 )
                 if held >= tenant.max_inflight:
                     _REJECTIONS.inc(tenant=tenant.name, reason="inflight")
                     raise QuotaExceeded(tenant.name, "inflight", 1.0)
-            self._inflight[job_id] = tenant.name
+            self._inflight.add(slot)
 
     def release(self, job_id: str) -> None:
-        """Free the slot for a finished/cancelled job (idempotent)."""
+        """Free every tenant's slot for a finished/cancelled job (idempotent).
+
+        The shared job reached a terminal state once, for everyone who
+        submitted it — each holder's slot frees exactly once.
+        """
         with self._lock:
-            self._inflight.pop(job_id, None)
+            self._inflight = {
+                slot for slot in self._inflight if slot[1] != job_id
+            }
 
     def inflight(self, tenant_name: str) -> int:
         with self._lock:
             return sum(
-                1 for owner in self._inflight.values() if owner == tenant_name
+                1 for owner, _ in self._inflight if owner == tenant_name
             )

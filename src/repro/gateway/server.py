@@ -421,7 +421,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         parts = self._split_path(url)
 
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
-            status, payload = self.server.proxy_cancel(parts[1])
+            server = self.server
+            if server.quotas is not None:
+                # Cancelling releases the job's quota slot, so it must not
+                # be open to anonymous callers when tenants are enforced;
+                # same auth path as _submit (rate is not charged — a cancel
+                # sheds load, it does not add any).
+                tenant = server.quotas.tenant_for(self.headers.get("Authorization"))
+                self._tenant_label = tenant.name
+            status, payload = server.proxy_cancel(parts[1])
             self._send_json(status, payload)
             return
         if parts == ["nodes"]:
@@ -855,11 +863,18 @@ class GatewayServer(ThreadingHTTPServer):
             return 200, record
         submit = (view or {}).get("submit")
         if isinstance(submit, dict):
-            # Unfinished — or finished "done" with the result marooned on the
-            # dead node — either way the job must run again on a survivor.
-            outcome = self.resurrect(gid, submit)
-            if outcome != "already_finished":
-                _FAILOVER.inc(outcome=outcome)
+            node = self.nodes.get(node_id)
+            if node is None or node.state in ("dead", "left"):
+                # Unfinished — or finished "done" with the result marooned
+                # on the dead node — either way the job must run again on a
+                # survivor.
+                outcome = self.resurrect(gid, submit)
+                if outcome != "already_finished":
+                    _FAILOVER.inc(outcome=outcome)
+            # A merely *suspect* node (one failed poll) keeps its in-flight
+            # work: answer queued without resubmitting and let the
+            # sweeper's dead transition drive failover, as the registry
+            # contract promises.
             queued = {"job_id": gid, "state": "queued", "digest": submit.get("digest")}
             if suffix == "/result":
                 return 409, {**queued, "error": "job not finished"}
@@ -930,6 +945,17 @@ class GatewayServer(ThreadingHTTPServer):
     def _failover_node(self, node_id: str) -> dict:
         """Replay a lost node's unfinished replica jobs onto survivors."""
         with obs_trace.span("gateway.failover", attrs={"node": node_id}) as span:
+            # Chained failover: mappings that re-homed earlier jobs *onto*
+            # this node are stale now — drop them so resurrect() re-homes
+            # those gids again instead of skipping them as already handled.
+            with self._lock:
+                stale = [
+                    gid
+                    for gid, (target, _rid) in self._failover.items()
+                    if target == node_id
+                ]
+                for gid in stale:
+                    del self._failover[gid]
             unfinished = self.replicas.unfinished(node_id)
             outcomes = {"replayed": 0, "already_finished": 0, "failed": 0}
             for record in unfinished:
@@ -949,14 +975,30 @@ class GatewayServer(ThreadingHTTPServer):
     def resurrect(self, gid: str, submit_record: dict) -> str:
         """Re-home one lost job onto a ring survivor; returns the outcome.
 
-        Idempotent and race-safe: a gid already re-homed (or being re-homed
-        by a concurrent poll/sweeper) is skipped, so eager sweep failover
-        and lazy poll-driven resurrection never double-submit.
+        Idempotent and race-safe: a gid being re-homed by a concurrent
+        poll/sweeper is skipped, as is one already mapped to a *live*
+        replacement — eager sweep failover and lazy poll-driven
+        resurrection never double-submit.  A mapping whose target node has
+        itself died (or left) is stale, though: chained failover drops it
+        and re-homes the job again instead of wedging every poll on the
+        dead replacement.
         """
-        with self._lock:
-            if gid in self._failover or gid in self._resurrecting:
+        while True:
+            with self._lock:
+                if gid in self._resurrecting:
+                    return "already_finished"
+                mapped = self._failover.get(gid)
+                if mapped is None:
+                    self._resurrecting.add(gid)
+                    break
+            # Node state is read outside self._lock (the registry has its
+            # own lock); loop to re-claim once the stale mapping is gone.
+            node = self.nodes.get(mapped[0])
+            if node is not None and node.state not in ("dead", "left"):
                 return "already_finished"
-            self._resurrecting.add(gid)
+            with self._lock:
+                if self._failover.get(gid) == mapped:
+                    del self._failover[gid]
         try:
             job_type = submit_record.get("type")
             params = submit_record.get("params")

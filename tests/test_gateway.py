@@ -230,6 +230,25 @@ class TestTenantQuotas:
         quotas.acquire(tenant, "digest-c")
         assert quotas.inflight("ci") == 2
 
+    def test_two_tenants_same_digest_hold_separate_slots(self):
+        first = Tenant(name="a", key="k1", max_inflight=1)
+        second = Tenant(name="b", key="k2", max_inflight=1)
+        quotas = TenantQuotas([first, second], clock=FakeClock())
+        quotas.acquire(first, "digest-x")
+        # A second tenant submitting the same digest must not deflate the
+        # first tenant's accounting — each holds its own slot.
+        quotas.acquire(second, "digest-x")
+        assert quotas.inflight("a") == 1
+        assert quotas.inflight("b") == 1
+        with pytest.raises(QuotaExceeded):
+            quotas.acquire(second, "digest-y")
+        # The shared job reaching a terminal state frees both holders.
+        quotas.release("digest-x")
+        assert quotas.inflight("a") == 0
+        assert quotas.inflight("b") == 0
+        quotas.acquire(first, "digest-y")
+        quotas.acquire(second, "digest-z")
+
     def test_unlimited_tenant_never_throttled(self):
         quotas, tenant = self.make()
         for i in range(100):
@@ -572,6 +591,23 @@ class TestGatewayQuotas:
             {"type": "quantize_tensor", "params": {"rows": 64, "cols": 256, "seed": 22}},
         )
 
+    def test_cancel_requires_bearer_key(self, secured):
+        self._occupy_worker(secured["node"])
+        good = ServiceClient(secured["gateway"], timeout=30.0, retries=0, api_key="rk-1")
+        queued = good.request(
+            "POST", "/v1/jobs",
+            {"type": "quantize_tensor", "params": {"rows": 64, "cols": 256, "seed": 41}},
+        )
+        # Cancelling releases a quota slot, so anonymous callers must not
+        # be able to cancel (and so free) another tenant's job.
+        anonymous = ServiceClient(secured["gateway"], timeout=10.0, retries=0)
+        with pytest.raises(ServiceRequestError) as excinfo:
+            anonymous.request("POST", f"/v1/jobs/{queued['job_id']}/cancel", {})
+        assert excinfo.value.status == 401
+        record = good.request("POST", f"/v1/jobs/{queued['job_id']}/cancel", {})
+        assert record["job_id"] == queued["job_id"]
+        assert record["state"] in ("cancelled", "running", "done")
+
     def test_resubmitting_same_digest_costs_no_extra_slot(self, secured):
         self._occupy_worker(secured["node"])
         client = ServiceClient(secured["gateway"], timeout=30.0, retries=0, api_key="ck-1")
@@ -581,6 +617,92 @@ class TestGatewayQuotas:
         again = client.request("POST", "/v1/jobs", body)
         assert again["digest"] == first["digest"]
         wait_done(client, first["job_id"])
+
+
+# --------------------------------------------------------------------- #
+# Failover resurrection semantics (suspect vs dead, chained node deaths)
+# --------------------------------------------------------------------- #
+
+
+class TestFailoverResurrection:
+    @pytest.fixture()
+    def plane(self):
+        """A gateway over two real nodes admitted *without* heartbeat
+        agents, so the test drives node health states directly (an agent
+        would re-register a node the test just declared dead)."""
+        gateway = create_gateway(
+            port=0, suspect_after=60.0, dead_after=120.0, sweep_interval=60.0
+        )
+        threading.Thread(target=gateway.serve_forever, daemon=True).start()
+        url = f"http://127.0.0.1:{gateway.port}"
+        servers = []
+        try:
+            for _ in range(2):
+                server = create_server(port=0, max_workers=2)
+                threading.Thread(target=server.serve_forever, daemon=True).start()
+                gateway.admit_node(
+                    f"http://127.0.0.1:{server.port}", gateway.registry_digest
+                )
+                servers.append(server)
+            yield gateway, url
+        finally:
+            for server in servers:
+                server.close()
+            gateway.close()
+
+    @staticmethod
+    def _ghost_submit(gateway, rid: str = "j-lost") -> str:
+        """Record a replica submit for a job owned by a registered node
+        that was never reachable (it "died" holding the job); returns the
+        gateway job id a client would be polling."""
+        body = {"type": "quantize_tensor", "params": {"rows": 16, "cols": 32, "seed": 77}}
+        job_type, params, digest, _ = gateway.canonicalize(["jobs"], body)
+        gateway.nodes.register(
+            "http://127.0.0.1:9", gateway.registry_digest, node_id="node-ghost"
+        )
+        gateway.note_submission("node-ghost", rid, job_type, params, digest, None)
+        return f"{rid}@node-ghost"
+
+    def test_suspect_node_poll_never_resubmits(self, plane):
+        gateway, url = plane
+        gid = self._ghost_submit(gateway)
+        client = ServiceClient(url, timeout=10.0, retries=0)
+        # The unreachable poll demotes the node to suspect and answers a
+        # synthetic queued — but its in-flight job must be left alone (the
+        # node may merely be slow); only the dead transition may replay it.
+        record = client.request("GET", f"/v1/jobs/{gid}")
+        assert record["state"] == "queued"
+        assert gateway.nodes.get("node-ghost").state == "suspect"
+        assert gid not in gateway._failover
+        record = client.request("GET", f"/v1/jobs/{gid}")
+        assert record["state"] == "queued"
+        assert gid not in gateway._failover
+        gateway.nodes.get("node-ghost").state = "dead"
+        record = client.request("GET", f"/v1/jobs/{gid}")
+        assert record["job_id"] == gid
+        assert gid in gateway._failover
+
+    def test_chained_failover_rehomes_after_second_death(self, plane):
+        gateway, url = plane
+        gid = self._ghost_submit(gateway)
+        gateway.nodes.get("node-ghost").state = "dead"
+        outcomes = gateway._failover_node("node-ghost")
+        assert outcomes["replayed"] == 1
+        first_target, _ = gateway._failover[gid]
+        # The replacement dies too (its replica still lists the re-homed
+        # job as unfinished — these nodes stream no journal lines): the
+        # mapping is stale and the job must re-home again, not be skipped
+        # as already handled.
+        gateway.nodes.get(first_target).state = "dead"
+        outcomes = gateway._failover_node(first_target)
+        assert outcomes["replayed"] >= 1
+        second_target, _ = gateway._failover[gid]
+        assert second_target != first_target
+        # Polls follow the live replacement instead of wedging forever on
+        # synthetic queued answers resolved against the dead first target.
+        record = wait_done(ServiceClient(url, timeout=10.0), gid)
+        assert record["state"] == "done"
+        assert record["job_id"] == gid
 
 
 def _raw_get(url: str) -> tuple[int, dict]:

@@ -163,9 +163,11 @@ class TestGatewayFailoverE2E:
                 local_dir / "report.csv"
             ).read_bytes()
 
-            # The campaign may finish (via suspect-node failover) before the
-            # sweeper's dead_after elapses; the victim must still be declared
-            # dead shortly after, since its heartbeats stopped for good.
+            # A suspect node's in-flight jobs are deliberately left alone
+            # (polls answer queued without resubmitting), so the victim's
+            # outstanding work only replays once the sweeper declares it
+            # dead — which must happen shortly, since its heartbeats
+            # stopped for good.
             deadline = time.monotonic() + 10.0
             while time.monotonic() < deadline:
                 if gateway.nodes.counts()["dead"] == 1:
